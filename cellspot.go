@@ -1,0 +1,134 @@
+package cellspot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"cellspot/internal/beacon"
+	"cellspot/internal/classify"
+	"cellspot/internal/demand"
+	"cellspot/internal/netaddr"
+	"cellspot/internal/pipeline"
+	"cellspot/internal/report"
+	"cellspot/internal/world"
+)
+
+// Config parameterizes a full pipeline run: world generation, BEACON and
+// DEMAND synthesis, the classifier threshold, and the AS-filter rules.
+type Config = pipeline.Config
+
+// Result carries everything a run produces: the generated world (ground
+// truth), both datasets, the detected cellular block set, per-AS statistics
+// and filtering, the characterized cellular networks, and the macroscopic
+// and DNS analyses.
+type Result = pipeline.Result
+
+// Env lazily shares the global and case-study pipeline runs between
+// experiments.
+type Env = pipeline.Env
+
+// Experiment is one reproduced table or figure: rendered text plus
+// measured-vs-paper headline metrics.
+type Experiment = pipeline.Output
+
+// Block identifies one aggregation unit: an IPv4 /24 or an IPv6 /48.
+type Block = netaddr.Block
+
+// Classifier is the paper's cellular-ratio threshold classifier.
+type Classifier = classify.Classifier
+
+// BeaconAggregate is the per-block BEACON rollup the classifier consumes.
+type BeaconAggregate = beacon.Aggregate
+
+// BeaconRecord is one RUM beacon hit.
+type BeaconRecord = beacon.Record
+
+// DemandDataset is the normalized DEMAND rollup (100,000 Demand Units).
+type DemandDataset = demand.Dataset
+
+// World is the generated synthetic Internet (ground truth).
+type World = world.World
+
+// DefaultConfig returns the paper-parameter configuration at the default
+// world scale (1% of the paper's block counts).
+func DefaultConfig() Config { return pipeline.DefaultConfig() }
+
+// Run generates a world and executes the full measurement pipeline.
+func Run(cfg Config) (*Result, error) { return pipeline.Run(cfg) }
+
+// RunCaseStudy executes the pipeline on the paper-scale three-carrier
+// validation world (Table 3, Figs 3, 6 and 8).
+func RunCaseStudy(cfg Config) (*Result, error) { return pipeline.RunCaseStudy(cfg) }
+
+// RunOnWorld executes the measurement pipeline against an existing world,
+// e.g. to reuse one world across seeds or thresholds.
+func RunOnWorld(w *World, cfg Config) (*Result, error) { return pipeline.RunOnWorld(w, cfg) }
+
+// GenerateWorld builds a synthetic Internet without running measurements.
+func GenerateWorld(cfg world.Config) (*World, error) { return world.Generate(cfg) }
+
+// NewEnv prepares a lazy experiment environment.
+func NewEnv(cfg Config) *Env { return pipeline.NewEnv(cfg) }
+
+// ExperimentIDs lists every reproduced table and figure in paper order
+// (T1–T8, F1–F12).
+func ExperimentIDs() []string { return pipeline.ExperimentIDs() }
+
+// RunExperiment reproduces one table or figure by ID ("T3", "F8", ...).
+func RunExperiment(id string, env *Env) (*Experiment, error) {
+	return pipeline.RunExperiment(id, env)
+}
+
+// NewClassifier returns a cellular-ratio classifier with the given
+// threshold in (0, 1]; the paper operates at 0.5.
+func NewClassifier(threshold float64) (Classifier, error) {
+	return classify.New(threshold)
+}
+
+// ParseBlock parses "a.b.c.0/24" or an IPv6 "/48" into a Block.
+func ParseBlock(s string) (Block, error) { return netaddr.ParseBlock(s) }
+
+// WriteReport runs every experiment and renders the full report, including
+// a final measured-vs-paper summary table. It is what cmd/experiments and
+// the EXPERIMENTS.md generator print.
+func WriteReport(w io.Writer, env *Env) error {
+	var all []*Experiment
+	for _, id := range ExperimentIDs() {
+		out, err := RunExperiment(id, env)
+		if err != nil {
+			return fmt.Errorf("cellspot: experiment %s: %w", id, err)
+		}
+		all = append(all, out)
+		if _, err := fmt.Fprintf(w, "==== %s — %s ====\n\n%s\n", out.ID, out.Title, out.Text); err != nil {
+			return err
+		}
+	}
+	return writeSummary(w, all)
+}
+
+// writeSummary renders the cross-experiment measured-vs-paper table.
+func writeSummary(w io.Writer, all []*Experiment) error {
+	t := report.NewTable("Summary — measured vs paper", "Experiment", "Metric", "Measured", "Paper", "Ratio")
+	for _, out := range all {
+		keys := make([]string, 0, len(out.Paper))
+		for k := range out.Paper {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			pv := out.Paper[k]
+			mv, ok := out.Metrics[k]
+			if !ok {
+				continue
+			}
+			ratio := "-"
+			if pv != 0 && !math.IsNaN(mv) {
+				ratio = report.F(mv/pv, 2)
+			}
+			t.Row(out.ID, k, report.F(mv, 4), report.F(pv, 4), ratio)
+		}
+	}
+	return t.Render(w)
+}

@@ -1,0 +1,80 @@
+// Command beacond runs the RUM beacon collector: the HTTP endpoint behind
+// the paper's BEACON dataset. It accepts NDJSON beacon batches on
+// POST /v1/beacons, aggregates them per /24 and /48 block, optionally
+// spools raw records to disk, and reports counters on GET /v1/stats.
+//
+// Usage:
+//
+//	beacond [-addr :8780] [-spool DIR] [-gzip]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cellspot/internal/logio"
+	"cellspot/internal/rum"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("beacond: ")
+
+	addr := flag.String("addr", ":8780", "listen address")
+	spoolDir := flag.String("spool", "", "spool raw records to this directory")
+	gzipped := flag.Bool("gzip", false, "gzip spool files")
+	token := flag.String("token", "", "require this bearer token on beacon posts")
+	flag.Parse()
+
+	var opts []rum.Option
+	var spool *logio.Spool
+	if *spoolDir != "" {
+		spool = logio.NewSpool(*spoolDir, "beacon", *gzipped, 500_000)
+		opts = append(opts, rum.WithSpool(spool))
+	}
+	if *token != "" {
+		opts = append(opts, rum.WithAuthToken(*token))
+	}
+	col := rum.NewCollector(opts...)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           col.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+	if err := col.Close(); err != nil {
+		log.Fatalf("closing spool: %v", err)
+	}
+	st := col.Stats()
+	log.Printf("received %d records (%d rejected) across %d blocks", st.Received, st.Rejected, st.Blocks)
+}

@@ -1,0 +1,79 @@
+// Command beaconsim drives a beacond collector: it generates a small
+// synthetic world, streams beacon records from it, and POSTs them in NDJSON
+// batches — the client half of the live BEACON collection path.
+//
+// Usage:
+//
+//	beaconsim -target http://127.0.0.1:8780 [-scale 0.0005] [-hits 100000]
+//	          [-seed 1] [-batch 500]
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"time"
+
+	"cellspot/internal/beacon"
+	"cellspot/internal/rum"
+	"cellspot/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("beaconsim: ")
+
+	target := flag.String("target", "http://127.0.0.1:8780", "collector base URL")
+	scale := flag.Float64("scale", 0.0005, "world scale")
+	hits := flag.Int("hits", 100_000, "beacon records to send")
+	seed := flag.Uint64("seed", 1, "world seed")
+	batch := flag.Int("batch", 500, "records per POST")
+	token := flag.String("token", "", "bearer token for the collector")
+	flag.Parse()
+
+	wcfg := world.DefaultConfig()
+	wcfg.Scale = *scale
+	wcfg.Seed = *seed
+	w, err := world.Generate(wcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bcfg := beacon.DefaultGenConfig()
+	bcfg.Seed = *seed
+	bcfg.TotalHits = *hits
+	bcfg.BaseHits = 8
+	seq, err := beacon.Stream(w, bcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cl := &rum.Client{BaseURL: *target, BatchSize: *batch, AuthToken: *token}
+	ctx := context.Background()
+	start := time.Now()
+	buf := make([]beacon.Record, 0, *batch)
+	sent := 0
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		if err := cl.Post(ctx, buf); err != nil {
+			log.Fatal(err)
+		}
+		sent += len(buf)
+		buf = buf[:0]
+	}
+	for rec := range seq {
+		buf = append(buf, rec)
+		if len(buf) >= *batch {
+			flush()
+		}
+	}
+	flush()
+
+	st, err := cl.FetchStats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("sent %d records in %v; collector: %d received, %d rejected, %d blocks",
+		sent, time.Since(start).Round(time.Millisecond), st.Received, st.Rejected, st.Blocks)
+}

@@ -1,0 +1,68 @@
+// Command cellmapd serves an exported cellular map over HTTP: the lookup
+// microservice a CDN would run in front of the published dataset.
+//
+//	cellmapd -map cellmap.jsonl [-addr :8781]
+//
+//	GET /v1/lookup?ip=1.2.3.4
+//	GET /v1/info
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cellspot/internal/cellmap"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("cellmapd: ")
+
+	mapPath := flag.String("map", "cellmap.jsonl", "map file from 'cellspot export'")
+	addr := flag.String("addr", ":8781", "listen address")
+	flag.Parse()
+
+	f, err := os.Open(*mapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := cellmap.Read(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %s: %d prefixes, period %s", *mapPath, m.Len(), m.Period)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           cellmap.Handler(m),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}

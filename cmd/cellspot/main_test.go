@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The subcommand functions are exercised directly: each is a thin
+// flag-parsing wrapper over the library, so these are true end-to-end
+// integration tests of the CLI surface.
+
+func TestGenClassifyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := runGen([]string{"-out", dir, "-scale", "0.001", "-hits", "60000"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"demand.jsonl", "truth.jsonl"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+	spools, err := filepath.Glob(filepath.Join(dir, "beacon-*.jsonl"))
+	if err != nil || len(spools) == 0 {
+		t.Fatalf("no beacon spool: %v", err)
+	}
+	if err := runClassify([]string{"-data", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "detected.jsonl")); err != nil {
+		t.Fatalf("missing detected.jsonl: %v", err)
+	}
+}
+
+func TestGenRequiresOut(t *testing.T) {
+	if err := runGen(nil); err == nil {
+		t.Error("gen without -out accepted")
+	}
+	if err := runClassify(nil); err == nil {
+		t.Error("classify without -data accepted")
+	}
+}
+
+func TestClassifyRejectsBadThreshold(t *testing.T) {
+	dir := t.TempDir()
+	if err := runGen([]string{"-out", dir, "-scale", "0.001", "-hits", "20000"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runClassify([]string{"-data", dir, "-threshold", "0"}); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+func TestExportLookup(t *testing.T) {
+	dir := t.TempDir()
+	mapPath := filepath.Join(dir, "map.jsonl")
+	if err := runExport([]string{"-o", mapPath, "-scale", "0.001"}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(mapPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("export produced nothing: %v", err)
+	}
+	// Lookup requires at least one address.
+	if err := runLookup([]string{"-map", mapPath}); err == nil {
+		t.Error("lookup without addresses accepted")
+	}
+	if err := runLookup([]string{"-map", mapPath, "1.0.0.7", "203.0.113.1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runLookup([]string{"-map", mapPath, "not-an-ip"}); err == nil {
+		t.Error("bad address accepted")
+	}
+	if err := runLookup([]string{"-map", filepath.Join(dir, "missing.jsonl"), "1.2.3.4"}); err == nil {
+		t.Error("missing map accepted")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	if err := runSummary([]string{"-scale", "0.002"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountry(t *testing.T) {
+	if err := runCountry([]string{"-scale", "0.002", "GH", "US"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCountry([]string{"-scale", "0.002", "ZZ"}); err == nil {
+		t.Error("unknown country accepted")
+	}
+	if err := runCountry([]string{"-scale", "0.002"}); err == nil {
+		t.Error("no countries accepted")
+	}
+}
+
+func TestClassifyLenientOnCorruptSpool(t *testing.T) {
+	dir := t.TempDir()
+	if err := runGen([]string{"-out", dir, "-scale", "0.001", "-hits", "20000"}); err != nil {
+		t.Fatal(err)
+	}
+	// Inject garbage lines into the spool: classify must survive them.
+	spools, _ := filepath.Glob(filepath.Join(dir, "beacon-*.jsonl"))
+	raw, err := os.ReadFile(spools[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := strings.Replace(string(raw), "\n", "\n{broken json\n", 1)
+	if err := os.WriteFile(spools[0], []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runClassify([]string{"-data", dir}); err != nil {
+		t.Fatalf("classify did not tolerate corrupt lines: %v", err)
+	}
+}

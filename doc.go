@@ -1,0 +1,32 @@
+// Package cellspot is a full reproduction of "Cell Spotting: Studying the
+// Role of Cellular Networks in the Internet" (Rula, Bustamante, Steiner —
+// IMC 2017) as a self-contained Go library.
+//
+// The paper identifies cellular subnets from the Network Information API
+// signal in CDN Real-User-Monitoring beacons, lifts subnet labels to
+// autonomous systems with a three-rule filter, and characterizes global
+// cellular usage. All of the paper's inputs are proprietary, so this
+// library ships the substrate that produces equivalent data: a
+// deterministic synthetic Internet (countries, operators, address plans,
+// CGNAT concentration, DNS deployments), beacon and request-log generators,
+// and an HTTP beacon-collection path — plus the full measurement pipeline
+// and one experiment per table and figure in the paper.
+//
+// # Quick start
+//
+//	cfg := cellspot.DefaultConfig()
+//	cfg.World.Scale = 0.005 // fraction of the paper's block counts
+//	result, err := cellspot.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Printf("cellular share of demand: %.1f%%\n",
+//		100*result.Macro.GlobalCellFrac()) // paper: 16.2%
+//
+// Individual tables and figures reproduce through the experiment runner:
+//
+//	env := cellspot.NewEnv(cfg)
+//	out, err := cellspot.RunExperiment("T8", env)
+//	fmt.Println(out.Text)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// vs published values.
+package cellspot

@@ -1,0 +1,85 @@
+// Carrier audit: validate the cellular-subnet classifier against a
+// carrier's ground-truth prefix labels the way the paper does in §4.2 —
+// the workflow a network operator would run to audit the method on their
+// own address plan.
+//
+// The example uses the paper-scale three-carrier case-study world, scores
+// each carrier by CIDR count and by demand, and sweeps the threshold to
+// show the stability plateau of Fig 3.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"cellspot"
+	"cellspot/internal/classify"
+	"cellspot/internal/report"
+	"cellspot/internal/world"
+)
+
+func main() {
+	result, err := cellspot.RunCaseStudy(cellspot.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	carriers := []struct {
+		name string
+		op   *world.Operator
+	}{
+		{"Carrier A — large mixed European provider", result.World.CarrierA},
+		{"Carrier B — large dedicated U.S. MNO", result.World.CarrierB},
+		{"Carrier C — large mixed Middle-East MNO", result.World.CarrierC},
+	}
+
+	t := report.NewTable("Classifier validation at threshold 0.5 (paper Table 3)",
+		"Carrier", "Mode", "TP", "FP", "TN", "FN", "Precision", "Recall", "F1")
+	for _, c := range carriers {
+		truth := result.World.CarrierTruth(c.op, false)
+		for _, mode := range []string{"CIDR", "Demand"} {
+			var m classify.Confusion
+			prec := 0
+			if mode == "CIDR" {
+				m = classify.Evaluate(result.Detected, truth, nil)
+			} else {
+				m = classify.Evaluate(result.Detected, truth, result.Demand.DU)
+				prec = 2
+			}
+			t.Row(c.name, mode,
+				report.F(m.TP, prec), report.F(m.FP, prec),
+				report.F(m.TN, prec), report.F(m.FN, prec),
+				report.F(m.Precision(), 2), report.F(m.Recall(), 2), report.F(m.F1(), 2))
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Threshold sweep for Carrier A: the F1 plateau that justifies the
+	// paper's conservative 0.5 operating point.
+	truth := result.World.CarrierTruth(result.World.CarrierA, false)
+	pts, err := classify.Sweep(result.Beacon, truth, result.Demand.DU,
+		[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.96, 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Carrier A demand-weighted F1 across thresholds (Fig 3):")
+	for _, p := range pts {
+		fmt.Printf("  threshold %.2f -> F1 %.3f\n", p.Threshold, p.ByDemand.F1())
+	}
+	// Auto-calibration: the paper picked 0.5 after this exact exercise.
+	best, err := classify.Calibrate(result.Beacon, truth, result.Demand.DU,
+		classify.ThresholdRange(50), true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAuto-calibrated threshold for Carrier A: %.2f (demand F1 %.3f) — the\n",
+		best.Threshold, best.ByDemand.F1())
+	fmt.Println("plateau is so wide that the paper's conservative 0.5 loses nothing.")
+
+	fmt.Println("\nThe method is precise everywhere; CIDR recall is low on mixed")
+	fmt.Println("carriers because low-activity cellular blocks never emit beacons —")
+	fmt.Println("exactly the lower-bound behaviour the paper reports.")
+}

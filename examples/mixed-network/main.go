@@ -1,0 +1,74 @@
+// Mixed-network analysis: dissect one large mixed operator the way the
+// paper's §6 does — subnet allocation vs demand across cellular ratios
+// (Fig 6b) and the CGNAT demand concentration (Fig 8) that lets a CDN
+// cover most cellular traffic with a handful of /24 targets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cellspot"
+	"cellspot/internal/aschar"
+	"cellspot/internal/netaddr"
+	"cellspot/internal/stats"
+)
+
+func main() {
+	result, err := cellspot.RunCaseStudy(cellspot.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	op := result.World.CarrierA
+	fmt.Printf("Operator: %s (AS%d, %s)\n\n", op.AS.Name, op.AS.Number, op.Country.Name)
+
+	// Per-block view over the operator's announced space.
+	announced := make([]netaddr.Block, 0, len(op.Blocks))
+	for _, b := range op.Blocks {
+		announced = append(announced, b.Block)
+	}
+	views := aschar.OperatorBlocks(announced, aschar.Inputs{
+		Detected: result.Detected,
+		Beacon:   result.Beacon,
+		Demand:   result.Demand,
+		ASOf:     result.ASOf,
+	})
+
+	var cellDU, fixedDU []float64
+	var totalDU, cellTotal float64
+	highRatio := 0
+	for _, v := range views {
+		totalDU += v.DU
+		if v.Cell {
+			cellDU = append(cellDU, v.DU)
+			cellTotal += v.DU
+		} else if v.DU > 0 {
+			fixedDU = append(fixedDU, v.DU)
+		}
+		if v.Ratio > 0.2 {
+			highRatio++
+		}
+	}
+	fmt.Printf("Announced blocks: %d;  blocks with ratio > 0.2: %.1f%% (paper: <2%%)\n",
+		len(views), 100*float64(highRatio)/float64(len(views)))
+	fmt.Printf("Cellular share of the operator's demand: %.1f%% (paper: 4.9%% for its mixed EU operator)\n\n",
+		100*cellTotal/totalDU)
+
+	// Fig 8: concentration of cellular demand.
+	top25 := stats.TopShare(cellDU, 25)
+	n99 := stats.MinCountForShare(cellDU, 0.993)
+	nFixed99 := stats.MinCountForShare(fixedDU, 0.993)
+	fmt.Printf("Top 25 cellular /24s carry %.1f%% of cellular demand (paper: 99.3%%)\n", 100*top25)
+	fmt.Printf("99.3%% of cellular demand sits in %d /24s; fixed-line needs %d /24s for the same share\n",
+		n99, nFixed99)
+
+	// The measurement implication the paper draws: a tiny probe-target
+	// list covers almost all cellular traffic.
+	ranked := stats.RankShare(cellDU)
+	fmt.Println("\nRanked cellular /24 demand shares (first 8 ranks):")
+	for i := 0; i < 8 && i < len(ranked); i++ {
+		fmt.Printf("  #%d: %.2f%%\n", i+1, 100*ranked[i].Y)
+	}
+	fmt.Println("\nCellular demand is CGNAT-concentrated: representative measurements of")
+	fmt.Println("this network need only a few dozen target addresses (paper, Finding 3).")
+}

@@ -1,0 +1,52 @@
+// Quickstart: generate a small synthetic Internet, run the full Cell
+// Spotting measurement pipeline on it, and print the paper's headline
+// findings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cellspot"
+)
+
+func main() {
+	cfg := cellspot.DefaultConfig()
+	cfg.World.Scale = 0.004 // 0.4% of the paper's block counts: a few seconds
+	cfg.World.Seed = 42
+
+	result, err := cellspot.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Synthetic world: %d blocks across %d ASes\n",
+		len(result.World.Blocks), result.World.Registry.Len())
+	fmt.Printf("BEACON: %d blocks observed, %d beacon hits\n",
+		result.Beacon.Blocks(), result.Beacon.Totals().Hits)
+	fmt.Printf("Detected cellular blocks: %d\n\n", result.Detected.Len())
+
+	fmt.Printf("Cellular share of global demand: %.1f%%  (paper: 16.2%%)\n",
+		100*result.Macro.GlobalCellFrac())
+	fmt.Printf("Identified cellular ASes:        %d  (paper: 668)\n",
+		len(result.Networks))
+
+	mixed := 0
+	for _, n := range result.Networks {
+		if !n.Dedicated {
+			mixed++
+		}
+	}
+	fmt.Printf("Mixed cellular ASes:             %.1f%%  (paper: 58.6%%)\n",
+		100*float64(mixed)/float64(len(result.Networks)))
+
+	// The most and least cellular countries (Fig 12's frontier).
+	fmt.Println("\nCellular fraction of demand by country (Fig 12 frontier):")
+	for _, cc := range []string{"GH", "LA", "ID", "US", "FR"} {
+		cs := result.Macro.ByCountry[cc]
+		if cs == nil {
+			continue
+		}
+		fmt.Printf("  %s (%s): %.1f%%\n", cc, cs.Country.Name, 100*cs.CellFrac())
+	}
+}

@@ -1,0 +1,3 @@
+module cellspot
+
+go 1.24

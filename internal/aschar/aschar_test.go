@@ -1,0 +1,260 @@
+package aschar
+
+import (
+	"math"
+	"testing"
+
+	"cellspot/internal/asn"
+	"cellspot/internal/beacon"
+	"cellspot/internal/demand"
+	"cellspot/internal/netaddr"
+)
+
+// fixture builds a small measurement scenario with three ASes:
+// AS1 a mixed operator, AS2 a tiny stray, AS3 a content/proxy network.
+func fixture(t *testing.T) (Inputs, *asn.Snapshot) {
+	t.Helper()
+	agg := beacon.NewAggregate()
+	raw := map[netaddr.Block]float64{}
+	asOf := map[netaddr.Block]uint32{}
+
+	add := func(a uint32, b netaddr.Block, du float64, hits, api, cell int) {
+		asOf[b] = a
+		if du > 0 {
+			raw[b] = du
+		}
+		if hits > 0 {
+			agg.Add(b, hits, api, cell)
+		}
+	}
+	// AS1: two cellular blocks (one heavy), three fixed blocks.
+	add(1, netaddr.V4Block(10, 1, 0), 50, 5000, 600, 570)
+	add(1, netaddr.V4Block(10, 1, 1), 5, 500, 60, 55)
+	add(1, netaddr.V4Block(10, 2, 0), 200, 9000, 700, 2)
+	add(1, netaddr.V4Block(10, 2, 1), 100, 4000, 300, 0)
+	add(1, netaddr.V4Block(10, 2, 2), 45, 2000, 150, 1)
+	// AS2: stray with one low-demand cellular-looking block.
+	add(2, netaddr.V4Block(20, 0, 0), 0.01, 10, 2, 2)
+	// AS3: proxy; lots of cellular-labeled demand.
+	add(3, netaddr.V4Block(30, 0, 0), 120, 8000, 900, 700)
+	add(3, netaddr.V4Block(30, 0, 1), 60, 4000, 450, 350)
+	// AS4: demand-only network, no beacons, no cellular labels.
+	add(4, netaddr.V4Block(40, 0, 0), 80, 0, 0, 0)
+
+	ds, err := demand.NewDataset(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detected = blocks with ratio >= 0.5 (computed by hand above).
+	det := netaddr.NewSet(
+		netaddr.V4Block(10, 1, 0), netaddr.V4Block(10, 1, 1),
+		netaddr.V4Block(20, 0, 0),
+		netaddr.V4Block(30, 0, 0), netaddr.V4Block(30, 0, 1),
+	)
+	reg, err := asn.NewRegistry([]asn.AS{
+		{Number: 1, Class: asn.ClassTransitAccess},
+		{Number: 2, Class: asn.ClassTransitAccess},
+		{Number: 3, Class: asn.ClassContent},
+		{Number: 4, Class: asn.ClassEnterprise},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Inputs{
+		Detected: det,
+		Beacon:   agg,
+		Demand:   ds,
+		ASOf: func(b netaddr.Block) (uint32, bool) {
+			a, ok := asOf[b]
+			return a, ok
+		},
+	}
+	return in, asn.BuildSnapshot(reg)
+}
+
+func TestBuildStats(t *testing.T) {
+	in, _ := fixture(t)
+	stats := BuildStats(in)
+	if len(stats) != 4 {
+		t.Fatalf("ASes = %d", len(stats))
+	}
+	s1 := stats[1]
+	if s1.Blocks != 5 || s1.CellBlocks != 2 || s1.CellBlocks24 != 2 || s1.CellBlocks48 != 0 {
+		t.Errorf("AS1 stats = %+v", s1)
+	}
+	if s1.Hits != 5000+500+9000+4000+2000 {
+		t.Errorf("AS1 hits = %d", s1.Hits)
+	}
+	// DU values are normalized; check proportions instead of absolutes.
+	wantCFD := 55.0 / 400.0
+	if math.Abs(s1.CFD()-wantCFD) > 1e-9 {
+		t.Errorf("AS1 CFD = %g, want %g", s1.CFD(), wantCFD)
+	}
+	if got := s1.CellBlockFraction(); math.Abs(got-0.4) > 1e-9 {
+		t.Errorf("AS1 cell block fraction = %g", got)
+	}
+	s4 := stats[4]
+	if s4.Hits != 0 || s4.Blocks != 1 || s4.CellBlocks != 0 {
+		t.Errorf("AS4 stats = %+v", s4)
+	}
+	// An empty stats entry has CFD 0.
+	if (&Stats{}).CFD() != 0 || (&Stats{}).CellBlockFraction() != 0 {
+		t.Error("zero stats division")
+	}
+}
+
+func TestBuildStatsBeaconOnlyBlock(t *testing.T) {
+	agg := beacon.NewAggregate()
+	b := netaddr.V4Block(50, 0, 0)
+	agg.Add(b, 100, 20, 20)
+	ds, _ := demand.NewDataset(map[netaddr.Block]float64{netaddr.V4Block(51, 0, 0): 1})
+	in := Inputs{
+		Detected: netaddr.NewSet(b),
+		Beacon:   agg,
+		Demand:   ds,
+		ASOf:     func(netaddr.Block) (uint32, bool) { return 7, true },
+	}
+	stats := BuildStats(in)
+	s := stats[7]
+	if s.Blocks != 2 || s.CellBlocks != 1 {
+		t.Errorf("beacon-only block not counted: %+v", s)
+	}
+	if s.CellDU != 0 {
+		t.Errorf("beacon-only cellular block contributed demand: %+v", s)
+	}
+}
+
+func TestBuildStatsUnmappedBlocksIgnored(t *testing.T) {
+	agg := beacon.NewAggregate()
+	agg.Add(netaddr.V4Block(1, 1, 1), 10, 5, 5)
+	ds, _ := demand.NewDataset(map[netaddr.Block]float64{netaddr.V4Block(1, 1, 1): 5})
+	in := Inputs{
+		Detected: netaddr.NewSet(netaddr.V4Block(1, 1, 1)),
+		Beacon:   agg,
+		Demand:   ds,
+		ASOf:     func(netaddr.Block) (uint32, bool) { return 0, false },
+	}
+	if stats := BuildStats(in); len(stats) != 0 {
+		t.Errorf("unmapped blocks created %d AS entries", len(stats))
+	}
+}
+
+func TestFilterRules(t *testing.T) {
+	in, snap := fixture(t)
+	stats := BuildStats(in)
+	// Tagged: AS1, AS2, AS3 (have detected cellular blocks); AS4 not.
+	// Raw weights normalize to 100,000 DU over a 660.01 total, so AS2's
+	// 0.01-weight cellular block is ~1.5 DU; a 100 DU bar removes it.
+	rules := Rules{MinCellDU: 100, MinHits: 3000, Snapshot: snap}
+	res := Filter(stats, rules)
+	if len(res.Tagged) != 3 {
+		t.Fatalf("tagged = %v", res.Tagged)
+	}
+	// Rule 1 kills AS2 (cell DU far below 1).
+	if len(res.AfterRule1) != 2 {
+		t.Fatalf("after rule 1 = %v", res.AfterRule1)
+	}
+	// Rule 2 keeps both (AS1 and AS3 have plenty of hits).
+	if len(res.AfterRule2) != 2 {
+		t.Fatalf("after rule 2 = %v", res.AfterRule2)
+	}
+	// Rule 3 kills AS3 (Content class).
+	if len(res.AfterRule3) != 1 || res.AfterRule3[0] != 1 {
+		t.Fatalf("after rule 3 = %v", res.AfterRule3)
+	}
+	r1, r2, r3 := res.Removed()
+	if r1 != 1 || r2 != 0 || r3 != 1 {
+		t.Errorf("removed = %d/%d/%d", r1, r2, r3)
+	}
+}
+
+func TestFilterRule2(t *testing.T) {
+	in, snap := fixture(t)
+	stats := BuildStats(in)
+	// Crank MinHits so only AS3 survives rule 2's hit bar... then dies on
+	// class. AS1 has 20,500 hits; AS3 has 12,000.
+	rules := Rules{MinCellDU: 0.0001, MinHits: 15000, Snapshot: snap}
+	res := Filter(stats, rules)
+	if len(res.AfterRule2) != 1 || res.AfterRule2[0] != 1 {
+		t.Fatalf("after rule 2 = %v", res.AfterRule2)
+	}
+}
+
+func TestFilterUnknownClassExcluded(t *testing.T) {
+	stats := map[uint32]*Stats{
+		9: {ASN: 9, CellBlocks: 1, CellDU: 10, Hits: 10000},
+	}
+	reg, _ := asn.NewRegistry([]asn.AS{{Number: 8, Class: asn.ClassTransitAccess}})
+	res := Filter(stats, DefaultRules(asn.BuildSnapshot(reg)))
+	if len(res.AfterRule3) != 0 {
+		t.Error("AS with no known class survived rule 3")
+	}
+	// nil snapshot skips rule 3 entirely.
+	res = Filter(stats, Rules{MinCellDU: 0.1, MinHits: 300})
+	if len(res.AfterRule3) != 1 {
+		t.Error("nil snapshot should disable rule 3")
+	}
+}
+
+func TestCharacterizeAndRank(t *testing.T) {
+	stats := map[uint32]*Stats{
+		1: {ASN: 1, TotalDU: 100, CellDU: 95},
+		2: {ASN: 2, TotalDU: 100, CellDU: 30},
+		3: {ASN: 3, TotalDU: 50, CellDU: 50},
+	}
+	nets := Characterize([]uint32{1, 2, 3}, stats)
+	byASN := map[uint32]Network{}
+	for _, n := range nets {
+		byASN[n.ASN] = n
+	}
+	if !byASN[1].Dedicated || byASN[2].Dedicated || !byASN[3].Dedicated {
+		t.Errorf("dedicated flags wrong: %+v", byASN)
+	}
+	ranked := RankByCellDU(nets)
+	if ranked[0].ASN != 1 || ranked[1].ASN != 3 || ranked[2].ASN != 2 {
+		t.Errorf("rank order = %v, %v, %v", ranked[0].ASN, ranked[1].ASN, ranked[2].ASN)
+	}
+	// Ties break by ASN.
+	tied := Characterize([]uint32{1, 3}, map[uint32]*Stats{
+		1: {ASN: 1, CellDU: 5}, 3: {ASN: 3, CellDU: 5},
+	})
+	r2 := RankByCellDU(tied)
+	if r2[0].ASN != 1 {
+		t.Error("tie break not by ASN")
+	}
+}
+
+func TestOperatorBlocks(t *testing.T) {
+	in, _ := fixture(t)
+	announced := []netaddr.Block{
+		netaddr.V4Block(10, 1, 0), netaddr.V4Block(10, 1, 1),
+		netaddr.V4Block(10, 2, 0), netaddr.V4Block(10, 2, 1), netaddr.V4Block(10, 2, 2),
+		netaddr.V4Block(10, 9, 9), // idle: no hits, no demand
+	}
+	views := OperatorBlocks(announced, in)
+	if len(views) != 6 {
+		t.Fatalf("views = %d", len(views))
+	}
+	// The idle block shows up at ratio 0 with zero DU.
+	foundIdle := false
+	for _, v := range views {
+		if v.Block == netaddr.V4Block(10, 9, 9) {
+			foundIdle = true
+			if v.Ratio != 0 || v.DU != 0 || v.Cell {
+				t.Errorf("idle view = %+v", v)
+			}
+		}
+	}
+	if !foundIdle {
+		t.Error("idle block missing from views")
+	}
+	last := views[len(views)-1]
+	if last.Ratio < 0.9 || !last.Cell {
+		t.Errorf("last view = %+v, want heavy cellular", last)
+	}
+	for i := 1; i < len(views); i++ {
+		if views[i-1].Ratio > views[i].Ratio {
+			t.Fatal("views not sorted by ratio")
+		}
+	}
+}

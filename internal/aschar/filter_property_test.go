@@ -1,0 +1,111 @@
+package aschar
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// randomStats generates an arbitrary per-AS stats map.
+func randomStats(rng *rand.Rand, n int) map[uint32]*Stats {
+	out := make(map[uint32]*Stats, n)
+	for i := 0; i < n; i++ {
+		asn := uint32(1000 + i)
+		out[asn] = &Stats{
+			ASN:        asn,
+			CellBlocks: rng.IntN(4),
+			CellDU:     rng.Float64() * 2,
+			TotalDU:    rng.Float64() * 10,
+			Hits:       rng.IntN(1000),
+		}
+	}
+	return out
+}
+
+// Property: tightening either threshold never grows any stage of the funnel,
+// and the funnel is always monotone non-increasing stage to stage.
+func TestFilterMonotoneProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, duBar, duBar2 float64, hitBar, hitBar2 uint16) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		stats := randomStats(rng, int(nRaw)+1)
+
+		abs := func(v float64) float64 {
+			if v < 0 {
+				return -v
+			}
+			return v
+		}
+		lo := Rules{MinCellDU: abs(duBar), MinHits: int(hitBar)}
+		hi := Rules{MinCellDU: lo.MinCellDU + abs(duBar2), MinHits: lo.MinHits + int(hitBar2)}
+
+		rLo := Filter(stats, lo)
+		rHi := Filter(stats, hi)
+
+		// Funnel monotone within one run.
+		if len(rLo.Tagged) < len(rLo.AfterRule1) ||
+			len(rLo.AfterRule1) < len(rLo.AfterRule2) ||
+			len(rLo.AfterRule2) < len(rLo.AfterRule3) {
+			return false
+		}
+		// Tightening thresholds never admits more ASes at any stage.
+		if len(rHi.AfterRule1) > len(rLo.AfterRule1) ||
+			len(rHi.AfterRule2) > len(rLo.AfterRule2) ||
+			len(rHi.AfterRule3) > len(rLo.AfterRule3) {
+			return false
+		}
+		// Tagging is threshold-independent.
+		return len(rHi.Tagged) == len(rLo.Tagged)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the final set is a subset of every earlier stage.
+func TestFilterSubsetProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 23))
+		stats := randomStats(rng, int(nRaw)+1)
+		res := Filter(stats, Rules{MinCellDU: 0.5, MinHits: 300})
+		inStage := func(stage []uint32) map[uint32]bool {
+			m := make(map[uint32]bool, len(stage))
+			for _, a := range stage {
+				m[a] = true
+			}
+			return m
+		}
+		tagged := inStage(res.Tagged)
+		r1 := inStage(res.AfterRule1)
+		r2 := inStage(res.AfterRule2)
+		for _, a := range res.AfterRule3 {
+			if !tagged[a] || !r1[a] || !r2[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Characterize splits exactly at the dedicated CFD cut.
+func TestCharacterizeCutProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 29))
+		stats := randomStats(rng, int(nRaw)+1)
+		var final []uint32
+		for a := range stats {
+			final = append(final, a)
+		}
+		for _, n := range Characterize(final, stats) {
+			if n.Dedicated != (n.CFD() >= DedicatedCFD) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,304 @@
+// Package beacon implements the BEACON dataset: Real-User-Monitoring beacon
+// records carrying Network Information API data, their generation from a
+// synthetic world, and the per-block aggregation the classifier consumes.
+//
+// Two generation paths exist with the same underlying distributions:
+//
+//   - Aggregate: the fast path. Hit tallies are drawn per block
+//     (Poisson/Binomial), never materializing individual records. Used by
+//     the full-scale pipeline and benchmarks.
+//   - Stream: the record path. Emits individual Records suitable for JSONL
+//     logs and the RUM collector examples.
+package beacon
+
+import (
+	"fmt"
+	"iter"
+	"math/rand/v2"
+	"net/netip"
+	"time"
+
+	"cellspot/internal/netaddr"
+	"cellspot/internal/netinfo"
+	"cellspot/internal/traffic"
+	"cellspot/internal/world"
+)
+
+// Record is one RUM beacon hit as logged by the collector.
+type Record struct {
+	Time       time.Time  `json:"ts"`
+	IP         netip.Addr `json:"ip"`
+	Conn       string     `json:"conn,omitempty"` // Network Information token; empty when the API is absent
+	Browser    string     `json:"browser"`
+	PageLoadMS int        `json:"plt_ms"`
+}
+
+// HasAPI reports whether the hit carried Network Information data.
+func (r Record) HasAPI() bool { return r.Conn != "" }
+
+// Counts tallies one block's beacon activity.
+type Counts struct {
+	Hits int `json:"hits"` // all beacon responses
+	API  int `json:"api"`  // responses with Network Information data
+	Cell int `json:"cell"` // responses labeled cellular
+}
+
+// Aggregate is the per-block BEACON rollup.
+type Aggregate struct {
+	PerBlock map[netaddr.Block]*Counts
+}
+
+// NewAggregate returns an empty aggregate.
+func NewAggregate() *Aggregate {
+	return &Aggregate{PerBlock: make(map[netaddr.Block]*Counts)}
+}
+
+// Add accumulates counts for a block.
+func (a *Aggregate) Add(b netaddr.Block, hits, api, cell int) {
+	c := a.PerBlock[b]
+	if c == nil {
+		c = &Counts{}
+		a.PerBlock[b] = c
+	}
+	c.Hits += hits
+	c.API += api
+	c.Cell += cell
+}
+
+// AddRecord accumulates one beacon record.
+func (a *Aggregate) AddRecord(r Record) {
+	api, cell := 0, 0
+	if r.HasAPI() {
+		api = 1
+		if r.Conn == netinfo.ConnCellular.String() {
+			cell = 1
+		}
+	}
+	a.Add(netaddr.BlockFromAddr(r.IP), 1, api, cell)
+}
+
+// Merge folds another aggregate into a.
+func (a *Aggregate) Merge(other *Aggregate) {
+	for b, c := range other.PerBlock {
+		a.Add(b, c.Hits, c.API, c.Cell)
+	}
+}
+
+// Ratio returns a block's cellular ratio (cellular hits over API-enabled
+// hits) and whether the block has any API-enabled hits at all.
+func (a *Aggregate) Ratio(b netaddr.Block) (float64, bool) {
+	c := a.PerBlock[b]
+	if c == nil || c.API == 0 {
+		return 0, false
+	}
+	return float64(c.Cell) / float64(c.API), true
+}
+
+// Blocks returns the number of blocks observed.
+func (a *Aggregate) Blocks() int { return len(a.PerBlock) }
+
+// CountFamily returns the number of observed blocks of a family.
+func (a *Aggregate) CountFamily(f netaddr.Family) int {
+	n := 0
+	for b := range a.PerBlock {
+		if b.Fam == f {
+			n++
+		}
+	}
+	return n
+}
+
+// Totals sums counts across all blocks.
+func (a *Aggregate) Totals() Counts {
+	var t Counts
+	for _, c := range a.PerBlock {
+		t.Hits += c.Hits
+		t.API += c.API
+		t.Cell += c.Cell
+	}
+	return t
+}
+
+// GenConfig parameterizes BEACON generation.
+type GenConfig struct {
+	// Seed drives hit sampling (independent from the world seed).
+	Seed uint64
+
+	// TotalHits is the number of beacon responses to model across the
+	// whole platform. It does NOT scale with the world's block scale:
+	// real beacon volume dwarfs block counts, and the AS-filter rule
+	// "fewer than 300 beacon responses" is an absolute threshold.
+	TotalHits int
+
+	// BaseHits is the demand-independent Poisson mean of hits per
+	// web-active block; the rest of TotalHits is spread by demand.
+	BaseHits float64
+
+	// Month sets the collection month (API adoption level).
+	Month netinfo.Month
+}
+
+// DefaultGenConfig mirrors the paper's December 2016 collection.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Seed:      2,
+		TotalHits: 25_000_000,
+		BaseHits:  250,
+		Month:     netinfo.December2016,
+	}
+}
+
+func (c *GenConfig) validate() error {
+	if c.TotalHits <= 0 {
+		return fmt.Errorf("beacon: TotalHits must be positive")
+	}
+	if c.BaseHits < 0 {
+		return fmt.Errorf("beacon: negative BaseHits")
+	}
+	if c.Month == (netinfo.Month{}) {
+		c.Month = netinfo.December2016
+	}
+	return nil
+}
+
+// blockPlan is the per-block expected hit count and label probabilities.
+type blockPlan struct {
+	info     *world.BlockInfo
+	meanHits float64
+	apiProb  float64
+}
+
+// plan computes each web-active block's expected hits. The demand-driven
+// share of TotalHits is what remains after base hits.
+func plan(w *world.World, cfg GenConfig) []blockPlan {
+	apiCell, _ := netinfo.ExpectedAPIShare(cfg.Month, 1)
+	apiFixed, _ := netinfo.ExpectedAPIShare(cfg.Month, 0)
+
+	var webDemand float64
+	nWeb := 0
+	for _, b := range w.Blocks {
+		if b.WebActive {
+			webDemand += b.Demand
+			nWeb++
+		}
+	}
+	demandBudget := float64(cfg.TotalHits) - cfg.BaseHits*float64(nWeb)
+	if demandBudget < 0 {
+		demandBudget = 0
+	}
+
+	plans := make([]blockPlan, 0, nWeb)
+	for _, b := range w.Blocks {
+		if !b.WebActive && b.HitsOverride == 0 {
+			continue
+		}
+		p := blockPlan{info: b, apiProb: apiFixed}
+		if b.Cellular {
+			p.apiProb = apiCell
+		}
+		switch {
+		case b.HitsOverride > 0:
+			// Overridden blocks fix their API hit count; total hits follow.
+			p.meanHits = float64(b.HitsOverride) / p.apiProb
+		case webDemand > 0:
+			p.meanHits = cfg.BaseHits + demandBudget*b.Demand/webDemand
+		default:
+			p.meanHits = cfg.BaseHits
+		}
+		plans = append(plans, p)
+	}
+	return plans
+}
+
+// Generate draws the per-block BEACON aggregate for a world: the fast path
+// used by the pipeline. Hits, API-enabled hits, and cellular labels are
+// sampled per block without materializing records.
+func Generate(w *world.World, cfg GenConfig) (*Aggregate, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xbeac0_0001))
+	agg := NewAggregate()
+	for _, p := range plan(w, cfg) {
+		hits := traffic.PoissonSmall(rng, p.meanHits)
+		var api int
+		if p.info.HitsOverride > 0 {
+			api = p.info.HitsOverride
+			if hits < api {
+				hits = api
+			}
+		} else {
+			if hits == 0 {
+				continue
+			}
+			api = traffic.Binomial(rng, hits, p.apiProb)
+		}
+		cell := traffic.Binomial(rng, api, p.info.CellLabelProb)
+		agg.Add(p.info.Block, hits, api, cell)
+	}
+	return agg, nil
+}
+
+// Stream emits individual beacon records for a world. The caller bounds the
+// volume through cfg.TotalHits; timestamps spread uniformly over the month.
+// The record path draws browser and connection type per hit with the same
+// marginal distributions the aggregate path uses.
+func Stream(w *world.World, cfg GenConfig) (iter.Seq[Record], error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	plans := plan(w, cfg)
+	start := time.Date(cfg.Month.Year, time.Month(cfg.Month.Mon), 1, 0, 0, 0, 0, time.UTC)
+	monthDur := start.AddDate(0, 1, 0).Sub(start)
+
+	return func(yield func(Record) bool) {
+		rng := rand.New(rand.NewPCG(cfg.Seed, 0xbeac0_0002))
+		for _, p := range plans {
+			hits := traffic.PoissonSmall(rng, p.meanHits)
+			forcedAPI := p.info.HitsOverride
+			if forcedAPI > hits {
+				hits = forcedAPI
+			}
+			for h := 0; h < hits; h++ {
+				rec := Record{
+					Time:       start.Add(time.Duration(rng.Int64N(int64(monthDur)))),
+					IP:         p.info.Block.HostAddr(uint64(rng.Uint32())),
+					Browser:    netinfo.SampleBrowser(rng, p.info.Cellular).String(),
+					PageLoadMS: 400 + int(traffic.LogNormal(rng, 6.2, 0.7)),
+				}
+				hasAPI := h < forcedAPI
+				if forcedAPI == 0 {
+					hasAPI = rng.Float64() < p.apiProb
+				}
+				if hasAPI {
+					rec.Conn = sampleConn(rng, p.info).String()
+				}
+				if !yield(rec) {
+					return
+				}
+			}
+		}
+	}, nil
+}
+
+// sampleConn draws the reported ConnectionType for an API-enabled hit.
+func sampleConn(rng *rand.Rand, b *world.BlockInfo) netinfo.ConnectionType {
+	if rng.Float64() < b.CellLabelProb {
+		return netinfo.ConnCellular
+	}
+	if b.Cellular {
+		return netinfo.ConnWiFi // tethered / hotspot devices
+	}
+	// Fixed lines: mostly WiFi devices, some wired, rare oddities.
+	u := rng.Float64()
+	switch {
+	case u < 0.85:
+		return netinfo.ConnWiFi
+	case u < 0.995:
+		return netinfo.ConnEthernet
+	case u < 0.998:
+		return netinfo.ConnWiMAX
+	default:
+		return netinfo.ConnBluetooth
+	}
+}

@@ -1,0 +1,286 @@
+package beacon
+
+import (
+	"math"
+	"testing"
+
+	"cellspot/internal/netaddr"
+	"cellspot/internal/netinfo"
+	"cellspot/internal/world"
+)
+
+var cachedWorld *world.World
+
+func smallWorld(t testing.TB) *world.World {
+	t.Helper()
+	if cachedWorld == nil {
+		cfg := world.DefaultConfig()
+		cfg.Scale = 0.002
+		w, err := world.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedWorld = w
+	}
+	return cachedWorld
+}
+
+func TestAggregateBasics(t *testing.T) {
+	a := NewAggregate()
+	b := netaddr.V4Block(1, 2, 3)
+	a.Add(b, 10, 5, 4)
+	a.Add(b, 10, 5, 1)
+	r, ok := a.Ratio(b)
+	if !ok || math.Abs(r-0.5) > 1e-12 {
+		t.Errorf("ratio = %g,%v, want 0.5", r, ok)
+	}
+	if _, ok := a.Ratio(netaddr.V4Block(9, 9, 9)); ok {
+		t.Error("ratio for unseen block")
+	}
+	noAPI := netaddr.V4Block(4, 4, 4)
+	a.Add(noAPI, 7, 0, 0)
+	if _, ok := a.Ratio(noAPI); ok {
+		t.Error("ratio defined with zero API hits")
+	}
+	tot := a.Totals()
+	if tot.Hits != 27 || tot.API != 10 || tot.Cell != 5 {
+		t.Errorf("totals = %+v", tot)
+	}
+	if a.Blocks() != 2 || a.CountFamily(netaddr.IPv4) != 2 || a.CountFamily(netaddr.IPv6) != 0 {
+		t.Error("block counting wrong")
+	}
+}
+
+func TestAggregateMergeAndRecords(t *testing.T) {
+	a, b := NewAggregate(), NewAggregate()
+	rec := Record{IP: netaddr.V4Block(5, 6, 7).HostAddr(9), Conn: "cellular", Browser: "Chrome Mobile"}
+	b.AddRecord(rec)
+	b.AddRecord(Record{IP: netaddr.V4Block(5, 6, 7).HostAddr(10), Conn: "wifi"})
+	b.AddRecord(Record{IP: netaddr.V4Block(5, 6, 7).HostAddr(11)}) // no API
+	a.Merge(b)
+	c := a.PerBlock[netaddr.V4Block(5, 6, 7)]
+	if c == nil || c.Hits != 3 || c.API != 2 || c.Cell != 1 {
+		t.Fatalf("merged counts = %+v", c)
+	}
+	if !rec.HasAPI() {
+		t.Error("HasAPI false for conn-bearing record")
+	}
+}
+
+func TestGenerateVolumeAndAPIShare(t *testing.T) {
+	w := smallWorld(t)
+	cfg := DefaultGenConfig()
+	cfg.TotalHits = 4_000_000
+	agg, err := Generate(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := agg.Totals()
+	if math.Abs(float64(tot.Hits)-float64(cfg.TotalHits)) > 0.05*float64(cfg.TotalHits) {
+		t.Errorf("total hits = %d, want ~%d", tot.Hits, cfg.TotalHits)
+	}
+	apiShare := float64(tot.API) / float64(tot.Hits)
+	// Paper Fig 1: ~13.2% of hits carry the API in Dec 2016.
+	if apiShare < 0.08 || apiShare > 0.19 {
+		t.Errorf("API share = %.3f, want near 0.132", apiShare)
+	}
+	if tot.Cell == 0 || tot.Cell >= tot.API {
+		t.Errorf("cellular labels = %d of %d API hits", tot.Cell, tot.API)
+	}
+}
+
+func TestGenerateRatioSeparation(t *testing.T) {
+	w := smallWorld(t)
+	agg, err := Generate(w, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground-truth cellular CGNAT blocks should sit at high ratios,
+	// fixed blocks at ~0 (Fig 2's bimodality).
+	var cellHigh, cellTotal, fixedLow, fixedTotal int
+	for _, bi := range w.Blocks {
+		r, ok := agg.Ratio(bi.Block)
+		if !ok {
+			continue
+		}
+		if bi.Cellular && bi.CellLabelProb > 0.8 {
+			cellTotal++
+			if r > 0.5 {
+				cellHigh++
+			}
+		} else if !bi.Cellular && bi.CellLabelProb < 0.01 {
+			fixedTotal++
+			if r < 0.1 {
+				fixedLow++
+			}
+		}
+	}
+	if cellTotal == 0 || fixedTotal == 0 {
+		t.Fatal("no classified blocks observed")
+	}
+	if frac := float64(cellHigh) / float64(cellTotal); frac < 0.95 {
+		t.Errorf("high-ratio fraction of CGNAT blocks = %.3f, want > 0.95", frac)
+	}
+	if frac := float64(fixedLow) / float64(fixedTotal); frac < 0.97 {
+		t.Errorf("low-ratio fraction of fixed blocks = %.3f, want > 0.97", frac)
+	}
+}
+
+func TestGenerateBeaconlessInvisible(t *testing.T) {
+	w := smallWorld(t)
+	agg, err := Generate(w, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bi := range w.Blocks {
+		if bi.WebActive || bi.HitsOverride > 0 {
+			continue
+		}
+		if _, seen := agg.PerBlock[bi.Block]; seen {
+			t.Fatalf("beacon-less block %v appeared in BEACON", bi.Block)
+		}
+	}
+}
+
+func TestGenerateHitsOverride(t *testing.T) {
+	w := smallWorld(t)
+	agg, err := Generate(w, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bi := range w.Blocks {
+		if bi.HitsOverride == 0 {
+			continue
+		}
+		c := agg.PerBlock[bi.Block]
+		if c == nil {
+			t.Fatalf("override block %v missing from BEACON", bi.Block)
+		}
+		if c.API != bi.HitsOverride {
+			t.Fatalf("override block %v has %d API hits, want %d", bi.Block, c.API, bi.HitsOverride)
+		}
+		if c.Hits < c.API {
+			t.Fatalf("override block %v has fewer hits than API hits", bi.Block)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	w := smallWorld(t)
+	cfg := DefaultGenConfig()
+	cfg.TotalHits = 500_000
+	a1, err := Generate(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Generate(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Blocks() != a2.Blocks() {
+		t.Fatal("block counts differ")
+	}
+	for b, c1 := range a1.PerBlock {
+		c2 := a2.PerBlock[b]
+		if c2 == nil || *c1 != *c2 {
+			t.Fatalf("counts differ for %v: %+v vs %+v", b, c1, c2)
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	w := smallWorld(t)
+	if _, err := Generate(w, GenConfig{TotalHits: 0}); err == nil {
+		t.Error("zero TotalHits accepted")
+	}
+	if _, err := Generate(w, GenConfig{TotalHits: 10, BaseHits: -1}); err == nil {
+		t.Error("negative BaseHits accepted")
+	}
+	if _, err := Stream(w, GenConfig{}); err == nil {
+		t.Error("Stream with zero TotalHits accepted")
+	}
+}
+
+func TestStreamMatchesAggregateMarginals(t *testing.T) {
+	cfg := world.DefaultConfig()
+	cfg.Scale = 0.0005
+	w, err := world.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg := DefaultGenConfig()
+	gcfg.TotalHits = 300_000
+	gcfg.BaseHits = 20
+
+	seq, err := Stream(w, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := NewAggregate()
+	browsers := map[string]int{}
+	n := 0
+	for rec := range seq {
+		if !rec.IP.IsValid() {
+			t.Fatal("invalid IP in record")
+		}
+		if rec.Conn != "" {
+			if _, err := netinfo.ParseConnectionType(rec.Conn); err != nil {
+				t.Fatalf("bad conn token %q", rec.Conn)
+			}
+		}
+		browsers[rec.Browser]++
+		streamed.AddRecord(rec)
+		n++
+	}
+	if n < gcfg.TotalHits/2 {
+		t.Fatalf("streamed only %d records", n)
+	}
+	direct, err := Generate(w, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, dt := streamed.Totals(), direct.Totals()
+	apiStream := float64(st.API) / float64(st.Hits)
+	apiDirect := float64(dt.API) / float64(dt.Hits)
+	if math.Abs(apiStream-apiDirect) > 0.03 {
+		t.Errorf("API share: stream %.3f vs aggregate %.3f", apiStream, apiDirect)
+	}
+	cellStream := float64(st.Cell) / float64(st.API)
+	cellDirect := float64(dt.Cell) / float64(dt.API)
+	if math.Abs(cellStream-cellDirect) > 0.06 {
+		t.Errorf("cellular label share: stream %.3f vs aggregate %.3f", cellStream, cellDirect)
+	}
+	if browsers[netinfo.ChromeMobile.String()] == 0 || browsers[netinfo.ChromeDesktop.String()] == 0 {
+		t.Error("browser sampling missing expected families")
+	}
+}
+
+func TestStreamEarlyStop(t *testing.T) {
+	w := smallWorld(t)
+	gcfg := DefaultGenConfig()
+	seq, err := Stream(w, gcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range seq {
+		n++
+		if n >= 10 {
+			break
+		}
+	}
+	if n != 10 {
+		t.Errorf("early stop yielded %d", n)
+	}
+}
+
+func BenchmarkGenerateAggregate(b *testing.B) {
+	w := smallWorld(b)
+	cfg := DefaultGenConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package cellmap builds the deliverable artifact of the paper's method: a
+// queryable, serializable map of cellular IP space. Detected /24 and /48
+// blocks are grouped per AS, merged into minimal covering CIDRs, annotated
+// with country, demand and mean cellular ratio, and indexed in a radix trie
+// for per-address lookups — the MaxMind-style dataset a CDN or content
+// provider would publish and consume for request routing and performance
+// triage.
+package cellmap
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+
+	"cellspot/internal/beacon"
+	"cellspot/internal/demand"
+	"cellspot/internal/logio"
+	"cellspot/internal/netaddr"
+)
+
+// Entry is one published cellular prefix.
+type Entry struct {
+	Prefix  netip.Prefix `json:"prefix"`
+	ASN     uint32       `json:"asn"`
+	Country string       `json:"country,omitempty"`
+	// Ratio is the hit-weighted mean cellular ratio of the blocks the
+	// prefix covers; DU their combined demand units.
+	Ratio float64 `json:"ratio"`
+	DU    float64 `json:"du"`
+}
+
+// Map is a complete cellular-space dataset.
+type Map struct {
+	// Threshold is the classifier operating point the map was built at.
+	Threshold float64 `json:"threshold"`
+	// Period labels the collection window, e.g. "2016-12".
+	Period string `json:"period"`
+
+	entries []Entry
+	trie    netaddr.Trie[int] // prefix -> entries index
+}
+
+// Inputs bundles the measurement data a map is built from.
+type Inputs struct {
+	Detected  netaddr.Set
+	Beacon    *beacon.Aggregate
+	Demand    *demand.Dataset
+	ASOf      func(netaddr.Block) (uint32, bool)
+	CountryOf func(uint32) (string, bool)
+}
+
+// Build assembles a map from a classification run. Blocks that cannot be
+// mapped to an AS are dropped (they could not be published usefully).
+func Build(threshold float64, period string, in Inputs) (*Map, error) {
+	byAS := make(map[uint32][]netaddr.Block)
+	for b := range in.Detected {
+		a, ok := in.ASOf(b)
+		if !ok {
+			continue
+		}
+		byAS[a] = append(byAS[a], b)
+	}
+	m := &Map{Threshold: threshold, Period: period}
+	asns := make([]uint32, 0, len(byAS))
+	for a := range byAS {
+		asns = append(asns, a)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, a := range asns {
+		country := ""
+		if in.CountryOf != nil {
+			country, _ = in.CountryOf(a)
+		}
+		for _, p := range netaddr.AggregateBlocks(byAS[a]) {
+			e := Entry{Prefix: p, ASN: a, Country: country}
+			blocks, ok := netaddr.ExpandPrefix(p)
+			if !ok {
+				return nil, fmt.Errorf("cellmap: cannot expand %s", p)
+			}
+			var hits, cells int
+			for _, b := range blocks {
+				if in.Demand != nil {
+					e.DU += in.Demand.DU(b)
+				}
+				if in.Beacon != nil {
+					if c := in.Beacon.PerBlock[b]; c != nil {
+						hits += c.API
+						cells += c.Cell
+					}
+				}
+			}
+			if hits > 0 {
+				e.Ratio = float64(cells) / float64(hits)
+			}
+			m.entries = append(m.entries, e)
+		}
+	}
+	m.sortEntries()
+	m.index()
+	return m, nil
+}
+
+func (m *Map) sortEntries() {
+	sort.Slice(m.entries, func(i, j int) bool {
+		a, b := m.entries[i].Prefix, m.entries[j].Prefix
+		if c := a.Addr().Compare(b.Addr()); c != 0 {
+			return c < 0
+		}
+		return a.Bits() < b.Bits()
+	})
+}
+
+func (m *Map) index() {
+	m.trie = netaddr.Trie[int]{}
+	for i, e := range m.entries {
+		// Prefixes are disjoint by construction; Insert cannot fail for
+		// valid prefixes, which Build and Read guarantee.
+		if err := m.trie.Insert(e.Prefix, i); err != nil {
+			panic(fmt.Sprintf("cellmap: index %s: %v", e.Prefix, err))
+		}
+	}
+}
+
+// Len returns the number of published prefixes.
+func (m *Map) Len() int { return len(m.entries) }
+
+// Entries returns the published prefixes in address order. Callers must
+// not mutate the slice.
+func (m *Map) Entries() []Entry { return m.entries }
+
+// TotalDU returns the demand the map covers.
+func (m *Map) TotalDU() float64 {
+	s := 0.0
+	for _, e := range m.entries {
+		s += e.DU
+	}
+	return s
+}
+
+// Lookup reports whether addr falls inside published cellular space and,
+// when it does, the covering entry.
+func (m *Map) Lookup(addr netip.Addr) (Entry, bool) {
+	i, ok := m.trie.Lookup(addr)
+	if !ok {
+		return Entry{}, false
+	}
+	return m.entries[i], true
+}
+
+// header is the serialized first line of a map file.
+type header struct {
+	Format    string  `json:"format"`
+	Threshold float64 `json:"threshold"`
+	Period    string  `json:"period"`
+	Entries   int     `json:"entries"`
+}
+
+const formatName = "cellspot-map/1"
+
+// Write serializes the map as JSONL: a header line followed by one entry
+// per line.
+func (m *Map) Write(w io.Writer) error {
+	lw := logio.NewWriter(w)
+	if err := lw.Write(header{Format: formatName, Threshold: m.Threshold, Period: m.Period, Entries: len(m.entries)}); err != nil {
+		return err
+	}
+	for _, e := range m.entries {
+		if err := lw.Write(e); err != nil {
+			return err
+		}
+	}
+	return lw.Flush()
+}
+
+// Read deserializes a map written by WriteTo and rebuilds the lookup index.
+func Read(r io.Reader) (*Map, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("cellmap: read header: %w", err)
+		}
+		return nil, fmt.Errorf("cellmap: empty input")
+	}
+	var hdr header
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("cellmap: parse header: %w", err)
+	}
+	if hdr.Format != formatName {
+		return nil, fmt.Errorf("cellmap: unknown format %q", hdr.Format)
+	}
+	m := &Map{Threshold: hdr.Threshold, Period: hdr.Period}
+	line := 1
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("cellmap: line %d: %w", line, err)
+		}
+		if !e.Prefix.IsValid() {
+			return nil, fmt.Errorf("cellmap: line %d: invalid prefix", line)
+		}
+		m.entries = append(m.entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cellmap: scan: %w", err)
+	}
+	if len(m.entries) != hdr.Entries {
+		return nil, fmt.Errorf("cellmap: header promises %d entries, file has %d (truncated?)",
+			hdr.Entries, len(m.entries))
+	}
+	m.sortEntries()
+	m.index()
+	return m, nil
+}

@@ -1,0 +1,34 @@
+package cellmap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that arbitrary bytes never panic the deserializer and
+// that anything it accepts re-serializes and re-parses consistently.
+func FuzzRead(f *testing.F) {
+	f.Add(`{"format":"cellspot-map/1","entries":1}` + "\n" + `{"prefix":"10.0.0.0/24","asn":1,"du":5}` + "\n")
+	f.Add(`{"format":"cellspot-map/1","entries":0}` + "\n")
+	f.Add("")
+	f.Add("{garbage")
+	f.Add(`{"format":"cellspot-map/1","entries":2}` + "\n" + `{"prefix":"2001:db8::/48"}` + "\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := m.Write(&buf); err != nil {
+			t.Fatalf("accepted input failed to serialize: %v", err)
+		}
+		m2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if m2.Len() != m.Len() {
+			t.Fatalf("round trip changed entry count: %d vs %d", m.Len(), m2.Len())
+		}
+	})
+}

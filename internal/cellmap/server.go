@@ -1,0 +1,78 @@
+package cellmap
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/netip"
+)
+
+// LookupResponse is the JSON answer of the lookup service.
+type LookupResponse struct {
+	Addr     string  `json:"addr"`
+	Cellular bool    `json:"cellular"`
+	Prefix   string  `json:"prefix,omitempty"`
+	ASN      uint32  `json:"asn,omitempty"`
+	Country  string  `json:"country,omitempty"`
+	Ratio    float64 `json:"ratio,omitempty"`
+	DU       float64 `json:"du,omitempty"`
+}
+
+// Info summarizes a served map.
+type Info struct {
+	Format    string  `json:"format"`
+	Period    string  `json:"period"`
+	Threshold float64 `json:"threshold"`
+	Entries   int     `json:"entries"`
+	TotalDU   float64 `json:"total_du"`
+}
+
+// Handler serves a cellular map over HTTP — the lookup microservice a CDN
+// would put in front of the published dataset:
+//
+//	GET /v1/lookup?ip=ADDR — per-address cellular lookup
+//	GET /v1/info           — dataset metadata
+//
+// The map is immutable once built, so the handler is safe for concurrent
+// use.
+func Handler(m *Map) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/lookup", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("ip")
+		if q == "" {
+			http.Error(w, "missing ip parameter", http.StatusBadRequest)
+			return
+		}
+		addr, err := netip.ParseAddr(q)
+		if err != nil {
+			http.Error(w, "bad ip: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := LookupResponse{Addr: addr.String()}
+		if e, ok := m.Lookup(addr); ok {
+			resp.Cellular = true
+			resp.Prefix = e.Prefix.String()
+			resp.ASN = e.ASN
+			resp.Country = e.Country
+			resp.Ratio = e.Ratio
+			resp.DU = e.DU
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("GET /v1/info", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, Info{
+			Format:    formatName,
+			Period:    m.Period,
+			Threshold: m.Threshold,
+			Entries:   m.Len(),
+			TotalDU:   m.TotalDU(),
+		})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,109 @@
+package cellmap
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *Map) {
+	t.Helper()
+	m, err := Build(0.5, "2016-12", fixtureInputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(m))
+	t.Cleanup(srv.Close)
+	return srv, m
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHandlerLookup(t *testing.T) {
+	srv, _ := testServer(t)
+	var resp LookupResponse
+	if code := getJSON(t, srv.URL+"/v1/lookup?ip=10.0.1.9", &resp); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if !resp.Cellular || resp.Prefix != "10.0.0.0/23" || resp.ASN != 1 || resp.Country != "DE" {
+		t.Errorf("response = %+v", resp)
+	}
+	if code := getJSON(t, srv.URL+"/v1/lookup?ip=203.0.113.9", &resp); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if resp.Cellular {
+		t.Error("non-cellular address reported cellular")
+	}
+}
+
+func TestHandlerLookupErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	for _, q := range []string{"", "?ip=", "?ip=not-an-ip"} {
+		resp, err := http.Get(srv.URL + "/v1/lookup" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("lookup%s returned %d", q, resp.StatusCode)
+		}
+	}
+	// POST is rejected by the method-scoped route.
+	resp, err := http.Post(srv.URL+"/v1/lookup?ip=10.0.0.1", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("POST accepted")
+	}
+}
+
+func TestHandlerInfo(t *testing.T) {
+	srv, m := testServer(t)
+	var info Info
+	if code := getJSON(t, srv.URL+"/v1/info", &info); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if info.Entries != m.Len() || info.Period != "2016-12" || info.Format != formatName {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestHandlerConcurrent(t *testing.T) {
+	srv, _ := testServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/v1/lookup?ip=10.0.4.200")
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package demand implements the DEMAND dataset: platform-wide request
+// statistics aggregated per /24 and /48 block over a seven-day window,
+// smoothed, and normalized into unit-less Demand Units (DU) where 1,000 DU
+// equal 1% of global request demand (total 100,000 — the paper normalizes
+// "out of 100,000 to increase precision").
+package demand
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"cellspot/internal/netaddr"
+	"cellspot/internal/traffic"
+	"cellspot/internal/world"
+)
+
+// TotalDU is the platform-wide Demand Unit total after normalization.
+const TotalDU = 100000.0
+
+// Dataset is the normalized per-block demand rollup.
+type Dataset struct {
+	du    map[netaddr.Block]float64
+	keys  []netaddr.Block // canonical iteration order
+	total float64
+}
+
+// NewDataset builds a normalized dataset from raw per-block weights.
+// Weights may be any non-negative values; they are scaled to sum to TotalDU.
+func NewDataset(raw map[netaddr.Block]float64) (*Dataset, error) {
+	// Sum and scale in canonical block order: float addition is not
+	// associative, and map iteration order would otherwise make two runs
+	// of the same world differ in their last bits.
+	keys := make([]netaddr.Block, 0, len(raw))
+	for b, v := range raw {
+		if v < 0 {
+			return nil, fmt.Errorf("demand: negative demand for %v", b)
+		}
+		keys = append(keys, b)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Fam != keys[j].Fam {
+			return keys[i].Fam < keys[j].Fam
+		}
+		return keys[i].Key < keys[j].Key
+	})
+	sum := 0.0
+	for _, b := range keys {
+		sum += raw[b]
+	}
+	d := &Dataset{du: make(map[netaddr.Block]float64, len(raw))}
+	if sum == 0 {
+		return d, nil
+	}
+	f := TotalDU / sum
+	for _, b := range keys {
+		if v := raw[b]; v > 0 {
+			d.du[b] = v * f
+			d.keys = append(d.keys, b)
+			d.total += v * f
+		}
+	}
+	return d, nil
+}
+
+// DU returns the block's demand units (0 when unobserved).
+func (d *Dataset) DU(b netaddr.Block) float64 { return d.du[b] }
+
+// Total returns the dataset's DU total (TotalDU, modulo floating point,
+// unless the dataset is empty).
+func (d *Dataset) Total() float64 { return d.total }
+
+// Blocks returns the number of blocks with demand.
+func (d *Dataset) Blocks() int { return len(d.du) }
+
+// CountFamily returns the number of demand-carrying blocks of a family.
+func (d *Dataset) CountFamily(f netaddr.Family) int {
+	n := 0
+	for b := range d.du {
+		if b.Fam == f {
+			n++
+		}
+	}
+	return n
+}
+
+// Each iterates over all (block, DU) pairs in canonical block order, so
+// downstream floating-point accumulations are reproducible run to run.
+func (d *Dataset) Each(fn func(netaddr.Block, float64)) {
+	for _, b := range d.keys {
+		fn(b, d.du[b])
+	}
+}
+
+// Top returns the n highest-demand blocks in descending DU order.
+func (d *Dataset) Top(n int) []BlockDU {
+	all := make([]BlockDU, 0, len(d.du))
+	for b, v := range d.du {
+		all = append(all, BlockDU{Block: b, DU: v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].DU != all[j].DU {
+			return all[i].DU > all[j].DU
+		}
+		return all[i].Block.Key < all[j].Block.Key
+	})
+	if n < len(all) {
+		all = all[:n]
+	}
+	return all
+}
+
+// BlockDU pairs a block with its demand units.
+type BlockDU struct {
+	Block netaddr.Block `json:"block"`
+	DU    float64       `json:"du"`
+}
+
+// GenConfig parameterizes DEMAND generation.
+type GenConfig struct {
+	Seed   uint64
+	Days   int     // collection window (paper: 7, Dec 24–31 2016)
+	Jitter float64 // per-day log-normal demand jitter
+}
+
+// DefaultGenConfig mirrors the paper's one-week window.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{Seed: 3, Days: 7, Jitter: 0.15}
+}
+
+// Daily holds raw per-day, per-block request weights before smoothing.
+type Daily struct {
+	Days []map[netaddr.Block]float64
+}
+
+// GenerateDaily draws each day's raw per-block demand from the world:
+// block demand scaled by a shared day factor (weekends swell) and per-block
+// daily noise.
+func GenerateDaily(w *world.World, cfg GenConfig) (*Daily, error) {
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("demand: Days must be positive")
+	}
+	if cfg.Jitter < 0 {
+		return nil, fmt.Errorf("demand: negative Jitter")
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xdeaa_0001))
+	dayFactors := traffic.DailyFactors(rng, cfg.Days, 0.05)
+	out := &Daily{Days: make([]map[netaddr.Block]float64, cfg.Days)}
+	for d := range out.Days {
+		out.Days[d] = make(map[netaddr.Block]float64, len(w.Blocks))
+	}
+	for _, b := range w.Blocks {
+		if b.Demand <= 0 {
+			continue
+		}
+		for d := 0; d < cfg.Days; d++ {
+			v := b.Demand * dayFactors[d]
+			if cfg.Jitter > 0 {
+				v *= traffic.LogNormal(rng, 0, cfg.Jitter)
+			}
+			out.Days[d][b.Block] = v
+		}
+	}
+	return out, nil
+}
+
+// Smooth combines the daily aggregates into the normalized dataset the
+// paper analyzes: per-block mean across the window, scaled to TotalDU.
+func (dl *Daily) Smooth() (*Dataset, error) {
+	raw := make(map[netaddr.Block]float64)
+	for _, day := range dl.Days {
+		for b, v := range day {
+			raw[b] += v
+		}
+	}
+	n := float64(len(dl.Days))
+	for b := range raw {
+		raw[b] /= n
+	}
+	return NewDataset(raw)
+}
+
+// Day normalizes a single day's aggregate — the no-smoothing ablation.
+func (dl *Daily) Day(i int) (*Dataset, error) {
+	if i < 0 || i >= len(dl.Days) {
+		return nil, fmt.Errorf("demand: day %d out of range [0,%d)", i, len(dl.Days))
+	}
+	return NewDataset(dl.Days[i])
+}
+
+// Generate is the common path: daily generation followed by smoothing.
+func Generate(w *world.World, cfg GenConfig) (*Dataset, error) {
+	daily, err := GenerateDaily(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return daily.Smooth()
+}

@@ -1,0 +1,246 @@
+package demand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cellspot/internal/netaddr"
+	"cellspot/internal/world"
+)
+
+var cachedWorld *world.World
+
+func smallWorld(t testing.TB) *world.World {
+	t.Helper()
+	if cachedWorld == nil {
+		cfg := world.DefaultConfig()
+		cfg.Scale = 0.002
+		w, err := world.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedWorld = w
+	}
+	return cachedWorld
+}
+
+func TestNewDatasetNormalization(t *testing.T) {
+	raw := map[netaddr.Block]float64{
+		netaddr.V4Block(1, 0, 0): 3,
+		netaddr.V4Block(1, 0, 1): 1,
+		netaddr.V4Block(1, 0, 2): 0, // dropped
+	}
+	d, err := NewDataset(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Total()-TotalDU) > 1e-6 {
+		t.Errorf("total = %g", d.Total())
+	}
+	if got := d.DU(netaddr.V4Block(1, 0, 0)); math.Abs(got-75000) > 1e-6 {
+		t.Errorf("DU = %g, want 75000", got)
+	}
+	if d.Blocks() != 2 {
+		t.Errorf("blocks = %d, want 2 (zero dropped)", d.Blocks())
+	}
+	if d.DU(netaddr.V4Block(9, 9, 9)) != 0 {
+		t.Error("unseen block has demand")
+	}
+}
+
+func TestNewDatasetErrors(t *testing.T) {
+	if _, err := NewDataset(map[netaddr.Block]float64{netaddr.V4Block(1, 0, 0): -1}); err == nil {
+		t.Error("negative demand accepted")
+	}
+	d, err := NewDataset(nil)
+	if err != nil || d.Total() != 0 || d.Blocks() != 0 {
+		t.Error("empty dataset mishandled")
+	}
+}
+
+func TestTop(t *testing.T) {
+	d, _ := NewDataset(map[netaddr.Block]float64{
+		netaddr.V4Block(1, 0, 0): 1,
+		netaddr.V4Block(1, 0, 1): 5,
+		netaddr.V4Block(1, 0, 2): 3,
+	})
+	top := d.Top(2)
+	if len(top) != 2 || top[0].Block != netaddr.V4Block(1, 0, 1) || top[1].Block != netaddr.V4Block(1, 0, 2) {
+		t.Errorf("Top = %v", top)
+	}
+	if len(d.Top(99)) != 3 {
+		t.Error("Top(n>len) truncated")
+	}
+}
+
+func TestGenerateDailyAndSmooth(t *testing.T) {
+	w := smallWorld(t)
+	cfg := DefaultGenConfig()
+	daily, err := GenerateDaily(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(daily.Days) != 7 {
+		t.Fatalf("days = %d", len(daily.Days))
+	}
+	ds, err := daily.Smooth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ds.Total()-TotalDU) > 1e-6 {
+		t.Errorf("smoothed total = %g", ds.Total())
+	}
+	// Every demand-carrying world block appears; beacon-less blocks too
+	// (DEMAND covers all protocols, unlike BEACON).
+	for _, b := range w.Blocks {
+		if b.Demand > 0 && ds.DU(b.Block) == 0 {
+			t.Fatalf("block %v lost its demand", b.Block)
+		}
+		if b.Demand == 0 && ds.DU(b.Block) != 0 {
+			t.Fatalf("idle block %v gained demand", b.Block)
+		}
+	}
+	// Smoothing preserves demand ordering approximately: the single
+	// biggest world block should stay the biggest in DU.
+	var maxBlock netaddr.Block
+	maxDemand := -1.0
+	for _, b := range w.Blocks {
+		if b.Demand > maxDemand {
+			maxDemand, maxBlock = b.Demand, b.Block
+		}
+	}
+	if top := ds.Top(25); top[0].Block != maxBlock {
+		found := false
+		for _, t25 := range top {
+			if t25.Block == maxBlock {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Error("biggest ground-truth block not among top 25 DU blocks")
+		}
+	}
+}
+
+func TestGenerateDayVsSmoothChurn(t *testing.T) {
+	w := smallWorld(t)
+	cfg := DefaultGenConfig()
+	daily, err := GenerateDaily(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day0, err := daily.Day(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smooth, err := daily.Smooth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single day is noisier than the smoothed window: mean absolute
+	// relative deviation of day-0 DU from smoothed DU must be positive
+	// but bounded.
+	var sumDev float64
+	n := 0
+	smooth.Each(func(b netaddr.Block, du float64) {
+		if du < 0.001 {
+			return
+		}
+		sumDev += math.Abs(day0.DU(b)-du) / du
+		n++
+	})
+	if n == 0 {
+		t.Fatal("no blocks compared")
+	}
+	mean := sumDev / float64(n)
+	if mean <= 0.001 {
+		t.Errorf("day-0 deviation %.5f suspiciously low; jitter not applied?", mean)
+	}
+	if mean > 0.6 {
+		t.Errorf("day-0 deviation %.3f too high", mean)
+	}
+	if _, err := daily.Day(7); err == nil {
+		t.Error("out-of-range day accepted")
+	}
+	if _, err := daily.Day(-1); err == nil {
+		t.Error("negative day accepted")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	w := smallWorld(t)
+	if _, err := GenerateDaily(w, GenConfig{Days: 0}); err == nil {
+		t.Error("zero days accepted")
+	}
+	if _, err := GenerateDaily(w, GenConfig{Days: 7, Jitter: -0.1}); err == nil {
+		t.Error("negative jitter accepted")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	w := smallWorld(t)
+	cfg := DefaultGenConfig()
+	d1, err := Generate(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Generate(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Blocks() != d2.Blocks() {
+		t.Fatal("block counts differ")
+	}
+	diff := false
+	d1.Each(func(b netaddr.Block, v float64) {
+		if d2.DU(b) != v {
+			diff = true
+		}
+	})
+	if diff {
+		t.Error("same seed produced different DU")
+	}
+}
+
+// Property: normalization always lands on TotalDU for any non-negative raw
+// weights with positive sum.
+func TestNormalizationProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		raw := make(map[netaddr.Block]float64)
+		any := false
+		for i, v := range vals {
+			v = math.Abs(v)
+			if math.IsInf(v, 0) || math.IsNaN(v) || v > 1e100 {
+				continue
+			}
+			raw[netaddr.Block{Fam: netaddr.IPv4, Key: uint64(i)}] = v
+			if v > 0 {
+				any = true
+			}
+		}
+		d, err := NewDataset(raw)
+		if err != nil {
+			return false
+		}
+		if !any {
+			return d.Total() == 0
+		}
+		return math.Abs(d.Total()-TotalDU) < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	w := smallWorld(b)
+	cfg := DefaultGenConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package evolve
+
+import (
+	"testing"
+
+	"cellspot/internal/netinfo"
+	"cellspot/internal/world"
+)
+
+var cachedWorld *world.World
+
+func smallWorld(t testing.TB) *world.World {
+	t.Helper()
+	if cachedWorld == nil {
+		cfg := world.DefaultConfig()
+		cfg.Scale = 0.002
+		w, err := world.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedWorld = w
+	}
+	return cachedWorld
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Months = 4
+	cfg.Beacon.TotalHits = 3_000_000
+	return cfg
+}
+
+func TestRunBasic(t *testing.T) {
+	w := smallWorld(t)
+	tl, err := Run(w, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Snapshots) != 4 {
+		t.Fatalf("snapshots = %d", len(tl.Snapshots))
+	}
+	for i, s := range tl.Snapshots {
+		if s.Detected.Len() == 0 {
+			t.Fatalf("month %d: nothing detected", i)
+		}
+		if s.CellDU <= 0 {
+			t.Fatalf("month %d: no cellular demand", i)
+		}
+		if len(s.TopBlocks) == 0 {
+			t.Fatalf("month %d: no top blocks", i)
+		}
+		want := netinfo.December2016
+		for j := 0; j < i; j++ {
+			want = want.Next()
+		}
+		if s.Month != want {
+			t.Errorf("month %d = %v, want %v", i, s.Month, want)
+		}
+	}
+}
+
+func TestRunDoesNotMutateInput(t *testing.T) {
+	w := smallWorld(t)
+	before := make(map[string]float64, len(w.Blocks))
+	cellBefore := 0
+	for _, b := range w.Blocks {
+		before[b.Block.String()] = b.Demand
+		if b.Cellular {
+			cellBefore++
+		}
+	}
+	nBlocks := len(w.Blocks)
+	if _, err := Run(w, testConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Blocks) != nBlocks {
+		t.Fatal("input world grew")
+	}
+	cellAfter := 0
+	for _, b := range w.Blocks {
+		if before[b.Block.String()] != b.Demand {
+			t.Fatalf("block %v demand mutated", b.Block)
+		}
+		if b.Cellular {
+			cellAfter++
+		}
+	}
+	if cellAfter != cellBefore {
+		t.Fatal("input world cellular labels mutated")
+	}
+}
+
+func TestChurnStats(t *testing.T) {
+	w := smallWorld(t)
+	tl, err := Run(w, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn := tl.Churn()
+	if len(churn) != 3 {
+		t.Fatalf("churn pairs = %d", len(churn))
+	}
+	for i, c := range churn {
+		if c.Jaccard <= 0.5 || c.Jaccard >= 1 {
+			t.Errorf("pair %d: Jaccard = %.3f, want sizeable but imperfect overlap", i, c.Jaccard)
+		}
+		if c.Added == 0 || c.Removed == 0 {
+			t.Errorf("pair %d: no churn at 4%% monthly reassignment (added %d, removed %d)",
+				i, c.Added, c.Removed)
+		}
+		if c.TopOverlap <= 0.5 {
+			t.Errorf("pair %d: heavy hitters too unstable: %.3f", i, c.TopOverlap)
+		}
+	}
+}
+
+func TestChurnScalesWithRate(t *testing.T) {
+	w := smallWorld(t)
+	low := testConfig()
+	low.Months = 2
+	low.ChurnRate = 0.01
+	high := low
+	high.ChurnRate = 0.25
+
+	tlLow, err := Run(w, low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlHigh, err := Run(w, high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jLow := tlLow.Churn()[0].Jaccard
+	jHigh := tlHigh.Churn()[0].Jaccard
+	if jHigh >= jLow {
+		t.Errorf("higher churn rate should lower Jaccard: %.3f vs %.3f", jHigh, jLow)
+	}
+}
+
+func TestNoChurnIsStable(t *testing.T) {
+	w := smallWorld(t)
+	cfg := testConfig()
+	cfg.Months = 2
+	cfg.ChurnRate = 0
+	cfg.DemandDrift = 0
+	tl, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tl.Churn()[0]
+	// Only beacon sampling noise moves the boundary now.
+	if c.Jaccard < 0.9 {
+		t.Errorf("Jaccard = %.3f without churn, want near 1", c.Jaccard)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	w := smallWorld(t)
+	bad := []Config{
+		{Months: 0, Beacon: testConfig().Beacon, Demand: testConfig().Demand, Threshold: 0.5},
+		func() Config { c := testConfig(); c.ChurnRate = -1; return c }(),
+		func() Config { c := testConfig(); c.ChurnRate = 2; return c }(),
+		func() Config { c := testConfig(); c.DemandDrift = -0.1; return c }(),
+		func() Config { c := testConfig(); c.Threshold = 0; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := Run(w, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	w := smallWorld(t)
+	cfg := testConfig()
+	cfg.Months = 2
+	tl1, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl2, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tl1.Snapshots {
+		a, b := tl1.Snapshots[i], tl2.Snapshots[i]
+		if a.Detected.Len() != b.Detected.Len() || a.CellDU != b.CellDU {
+			t.Fatalf("month %d differs between runs", i)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package geo
+
+// DefaultCountries returns the curated country table used by the default
+// synthetic world. Values are calibrated against the paper's published
+// aggregates:
+//
+//   - DemandShare percentages are tuned so continent totals land near the
+//     values implied by Table 8 (e.g. North America ≈ 34% of global demand,
+//     the U.S. alone ≈ 30% of global *cellular* demand).
+//   - CellFrac reproduces Fig 12's frontier: Ghana 0.959, Laos 0.871,
+//     Indonesia 0.63, U.S. 0.166, France 0.121.
+//   - SubscribersM sums per continent approximate Table 8's ITU column
+//     (Oceania 43.3M ... Asia 2,766M excluding China).
+//   - CellASes sums per continent approximate Table 6
+//     (AF 114, AS 213, EU 185, NA 93, OC 16, SA 48), with the paper's named
+//     outliers (US 40, RU 29, CN 25, JP 17, IN 13).
+//   - IPv6ASes mark the paper's 52 IPv6-deploying cellular ASes across 24
+//     countries (leaders: Brazil 6; Myanmar, U.S., Japan 5 each).
+//   - PublicDNSShare reproduces Fig 10 (US <2%, IN ≈40%, HK >55%, DZ ≈97%).
+//
+// China generates traffic and appears in the AS census but is flagged
+// ExcludeDemand, mirroring the paper's exclusion of Chinese demand data from
+// its macroscopic statistics.
+func DefaultCountries() []Country {
+	c := func(code, name string, ct Continent, demand, cellFrac, subsM float64, cellASes int, mixed float64, v6ASes int, pubDNS float64) Country {
+		return Country{
+			Code: code, Name: name, Continent: ct,
+			DemandShare: demand, CellFrac: cellFrac, SubscribersM: subsM,
+			CellASes: cellASes, MixedShare: mixed,
+			IPv6: v6ASes > 0, IPv6ASes: v6ASes, PublicDNSShare: pubDNS,
+		}
+	}
+	withExcludedDemand := func(c Country) Country {
+		c.ExcludeDemand = true
+		return c
+	}
+	return []Country{
+		// North America (Table 8: 16.6% cellular, 35% of global cellular, 594M subs)
+		c("US", "United States", NorthAmerica, 32.50, 0.177, 416, 40, 0.20, 5, 0.02),
+		c("CA", "Canada", NorthAmerica, 1.20, 0.082, 30, 8, 0.60, 2, 0.05),
+		c("MX", "Mexico", NorthAmerica, 0.22, 0.239, 107, 6, 0.70, 0, 0.10),
+		c("GT", "Guatemala", NorthAmerica, 0.045, 0.385, 18, 3, 0.70, 0, 0.12),
+		c("PR", "Puerto Rico", NorthAmerica, 0.040, 0.257, 3.4, 3, 0.70, 0, 0.05),
+		c("PA", "Panama", NorthAmerica, 0.030, 0.299, 6.9, 3, 0.70, 0, 0.10),
+		c("DO", "Dominican Republic", NorthAmerica, 0.028, 0.359, 8.9, 3, 0.70, 0, 0.12),
+		c("CR", "Costa Rica", NorthAmerica, 0.022, 0.274, 8.0, 3, 0.70, 0, 0.10),
+		c("SV", "El Salvador", NorthAmerica, 0.016, 0.410, 9.3, 2, 0.70, 0, 0.12),
+		c("HN", "Honduras", NorthAmerica, 0.013, 0.445, 7.8, 2, 0.70, 0, 0.12),
+		c("JM", "Jamaica", NorthAmerica, 0.012, 0.342, 3.2, 3, 0.70, 0, 0.10),
+		c("NI", "Nicaragua", NorthAmerica, 0.008, 0.385, 8.0, 2, 0.70, 0, 0.12),
+		c("TT", "Trinidad and Tobago", NorthAmerica, 0.008, 0.257, 2.0, 2, 0.70, 0, 0.08),
+		c("BS", "Bahamas", NorthAmerica, 0.005, 0.257, 0.9, 2, 0.70, 0, 0.08),
+		c("BB", "Barbados", NorthAmerica, 0.004, 0.214, 0.3, 2, 0.70, 0, 0.08),
+		c("CU", "Cuba", NorthAmerica, 0.004, 0.171, 3.4, 2, 0.70, 0, 0.05),
+		c("HT", "Haiti", NorthAmerica, 0.004, 0.513, 6.6, 2, 0.70, 0, 0.15),
+		c("BZ", "Belize", NorthAmerica, 0.003, 0.342, 0.2, 2, 0.70, 0, 0.10),
+		c("GP", "Guadeloupe", NorthAmerica, 0.003, 0.214, 0.5, 1, 0.70, 0, 0.05),
+		c("MQ", "Martinique", NorthAmerica, 0.003, 0.214, 0.4, 1, 0.70, 0, 0.05),
+		c("KY", "Cayman Islands", NorthAmerica, 0.002, 0.171, 0.1, 1, 0.70, 0, 0.05),
+
+		// Asia (Table 8: 26.0% cellular, 38.9% of global cellular, 2,766M subs excl. China)
+		c("JP", "Japan", Asia, 7.40, 0.133, 160, 17, 0.45, 5, 0.05),
+		c("IN", "India", Asia, 3.20, 0.342, 1150, 15, 0.50, 4, 0.40),
+		c("KR", "South Korea", Asia, 3.10, 0.120, 60, 6, 0.55, 2, 0.05),
+		c("TW", "Taiwan", Asia, 1.55, 0.171, 29, 5, 0.60, 0, 0.08),
+		c("ID", "Indonesia", Asia, 1.15, 0.683, 380, 10, 0.50, 0, 0.15),
+		c("TH", "Thailand", Asia, 1.15, 0.299, 90, 6, 0.55, 1, 0.10),
+		c("TR", "Turkey", Asia, 1.00, 0.257, 75, 7, 0.60, 0, 0.08),
+		c("HK", "Hong Kong", Asia, 0.95, 0.188, 17, 4, 0.60, 0, 0.57),
+		c("SG", "Singapore", Asia, 0.80, 0.154, 8, 4, 0.60, 0, 0.10),
+		c("VN", "Vietnam", Asia, 0.60, 0.359, 120, 5, 0.60, 0, 0.30),
+		c("IL", "Israel", Asia, 0.60, 0.171, 10, 4, 0.60, 0, 0.05),
+		c("SA", "Saudi Arabia", Asia, 0.50, 0.385, 50, 5, 0.55, 1, 0.25),
+		c("IR", "Iran", Asia, 0.50, 0.299, 80, 7, 0.60, 0, 0.08),
+		c("MY", "Malaysia", Asia, 0.50, 0.299, 45, 5, 0.55, 1, 0.10),
+		c("PH", "Philippines", Asia, 0.50, 0.470, 115, 5, 0.60, 0, 0.12),
+		c("AE", "United Arab Emirates", Asia, 0.40, 0.427, 20, 4, 0.55, 1, 0.10),
+		c("PK", "Pakistan", Asia, 0.30, 0.427, 135, 6, 0.60, 0, 0.15),
+		c("BD", "Bangladesh", Asia, 0.25, 0.470, 130, 5, 0.60, 0, 0.15),
+		c("KZ", "Kazakhstan", Asia, 0.15, 0.257, 25, 4, 0.60, 0, 0.08),
+		c("KW", "Kuwait", Asia, 0.12, 0.385, 7, 3, 0.60, 0, 0.10),
+		c("LK", "Sri Lanka", Asia, 0.10, 0.385, 25, 3, 0.60, 0, 0.10),
+		c("QA", "Qatar", Asia, 0.10, 0.342, 4, 2, 0.60, 0, 0.08),
+		c("IQ", "Iraq", Asia, 0.10, 0.470, 35, 4, 0.60, 0, 0.15),
+		c("MM", "Myanmar", Asia, 0.08, 0.530, 50, 5, 0.55, 5, 0.15),
+		c("JO", "Jordan", Asia, 0.08, 0.385, 10, 3, 0.60, 0, 0.10),
+		c("OM", "Oman", Asia, 0.06, 0.385, 7, 3, 0.60, 0, 0.10),
+		c("LB", "Lebanon", Asia, 0.06, 0.342, 4, 3, 0.60, 0, 0.10),
+		c("KH", "Cambodia", Asia, 0.05, 0.598, 20, 3, 0.60, 0, 0.15),
+		c("LA", "Laos", Asia, 0.05, 0.955, 5, 2, 0.60, 0, 0.15),
+		c("NP", "Nepal", Asia, 0.05, 0.513, 30, 3, 0.60, 0, 0.12),
+		c("UZ", "Uzbekistan", Asia, 0.05, 0.342, 25, 3, 0.60, 0, 0.08),
+		c("MO", "Macao", Asia, 0.05, 0.214, 2, 2, 0.60, 0, 0.10),
+		c("BH", "Bahrain", Asia, 0.04, 0.299, 2.5, 2, 0.60, 0, 0.08),
+		c("MN", "Mongolia", Asia, 0.03, 0.299, 3, 2, 0.60, 0, 0.08),
+		c("PS", "Palestine", Asia, 0.03, 0.427, 3.7, 2, 0.60, 0, 0.12),
+		c("YE", "Yemen", Asia, 0.02, 0.513, 15, 2, 0.60, 0, 0.15),
+		c("SY", "Syria", Asia, 0.02, 0.427, 12, 2, 0.60, 0, 0.12),
+		c("AF", "Afghanistan", Asia, 0.02, 0.513, 20, 2, 0.60, 0, 0.15),
+		c("TJ", "Tajikistan", Asia, 0.02, 0.427, 8, 2, 0.60, 0, 0.10),
+		c("KG", "Kyrgyzstan", Asia, 0.02, 0.427, 7, 2, 0.60, 0, 0.10),
+		c("MV", "Maldives", Asia, 0.01, 0.385, 0.6, 2, 0.60, 0, 0.10),
+		c("BN", "Brunei", Asia, 0.01, 0.299, 0.5, 2, 0.60, 0, 0.08),
+		c("TM", "Turkmenistan", Asia, 0.01, 0.342, 5, 1, 0.60, 0, 0.08),
+		c("BT", "Bhutan", Asia, 0.005, 0.427, 0.7, 1, 0.60, 0, 0.10),
+		withExcludedDemand(c("CN", "China", Asia, 1.50, 0.214, 1300, 25, 0.60, 0, 0.00)),
+
+		// Europe (Table 8: 11.8% cellular, 15.9% of global cellular, 968M subs)
+		c("GB", "United Kingdom", Europe, 3.30, 0.111, 84, 9, 0.60, 2, 0.05),
+		c("DE", "Germany", Europe, 3.10, 0.085, 107, 9, 0.60, 2, 0.04),
+		c("FR", "France", Europe, 2.90, 0.130, 67, 8, 0.60, 2, 0.04),
+		c("RU", "Russia", Europe, 2.30, 0.111, 237, 29, 0.60, 0, 0.08),
+		c("IT", "Italy", Europe, 1.70, 0.107, 86, 7, 0.60, 0, 0.05),
+		c("ES", "Spain", Europe, 1.40, 0.103, 51, 6, 0.60, 0, 0.05),
+		c("NL", "Netherlands", Europe, 1.00, 0.068, 18, 5, 0.60, 1, 0.04),
+		c("PL", "Poland", Europe, 0.95, 0.120, 56, 6, 0.60, 1, 0.06),
+		c("SE", "Sweden", Europe, 0.75, 0.085, 12, 5, 0.60, 1, 0.04),
+		c("CH", "Switzerland", Europe, 0.60, 0.077, 11, 4, 0.60, 1, 0.04),
+		c("FI", "Finland", Europe, 0.50, 0.299, 9, 4, 0.60, 1, 0.04),
+		c("NO", "Norway", Europe, 0.50, 0.094, 6, 4, 0.60, 0, 0.04),
+		c("BE", "Belgium", Europe, 0.50, 0.077, 12, 4, 0.60, 0, 0.04),
+		c("AT", "Austria", Europe, 0.45, 0.094, 13, 4, 0.60, 0, 0.04),
+		c("UA", "Ukraine", Europe, 0.40, 0.171, 61, 6, 0.60, 0, 0.10),
+		c("PT", "Portugal", Europe, 0.40, 0.103, 12, 4, 0.60, 0, 0.05),
+		c("DK", "Denmark", Europe, 0.40, 0.077, 7, 4, 0.60, 0, 0.04),
+		c("IE", "Ireland", Europe, 0.35, 0.094, 5, 3, 0.60, 0, 0.04),
+		c("CZ", "Czechia", Europe, 0.35, 0.111, 13, 4, 0.60, 0, 0.05),
+		c("GR", "Greece", Europe, 0.30, 0.128, 12, 3, 0.60, 1, 0.06),
+		c("RO", "Romania", Europe, 0.30, 0.137, 23, 4, 0.60, 0, 0.06),
+		c("HU", "Hungary", Europe, 0.25, 0.111, 12, 3, 0.60, 0, 0.05),
+		c("BG", "Bulgaria", Europe, 0.15, 0.145, 9, 3, 0.60, 0, 0.06),
+		c("BY", "Belarus", Europe, 0.12, 0.128, 11, 3, 0.60, 0, 0.06),
+		c("SK", "Slovakia", Europe, 0.12, 0.120, 7, 3, 0.60, 0, 0.05),
+		c("RS", "Serbia", Europe, 0.10, 0.154, 9, 3, 0.60, 0, 0.06),
+		c("HR", "Croatia", Europe, 0.10, 0.137, 4.5, 3, 0.60, 0, 0.05),
+		c("LT", "Lithuania", Europe, 0.08, 0.128, 4.4, 3, 0.60, 0, 0.05),
+		c("AZ", "Azerbaijan", Europe, 0.06, 0.257, 10, 3, 0.60, 0, 0.08),
+		c("LV", "Latvia", Europe, 0.06, 0.128, 2.3, 3, 0.60, 0, 0.05),
+		c("EE", "Estonia", Europe, 0.05, 0.154, 1.9, 3, 0.60, 0, 0.05),
+		c("SI", "Slovenia", Europe, 0.05, 0.111, 2.4, 2, 0.60, 0, 0.05),
+		c("LU", "Luxembourg", Europe, 0.04, 0.085, 0.8, 2, 0.60, 0, 0.04),
+		c("GE", "Georgia", Europe, 0.04, 0.257, 5.6, 2, 0.60, 0, 0.08),
+		c("MD", "Moldova", Europe, 0.03, 0.257, 4.4, 2, 0.60, 0, 0.08),
+		c("BA", "Bosnia and Herzegovina", Europe, 0.03, 0.214, 3.5, 2, 0.60, 0, 0.06),
+		c("IS", "Iceland", Europe, 0.03, 0.103, 0.4, 2, 0.60, 0, 0.04),
+		c("CY", "Cyprus", Europe, 0.03, 0.171, 1.2, 2, 0.60, 0, 0.05),
+		c("AM", "Armenia", Europe, 0.03, 0.257, 3.5, 2, 0.60, 0, 0.08),
+		c("AL", "Albania", Europe, 0.02, 0.257, 3.4, 2, 0.60, 0, 0.08),
+		c("MK", "North Macedonia", Europe, 0.02, 0.214, 2.2, 2, 0.60, 0, 0.06),
+		c("MT", "Malta", Europe, 0.02, 0.128, 0.6, 2, 0.60, 0, 0.05),
+		c("ME", "Montenegro", Europe, 0.01, 0.171, 1.0, 1, 0.60, 0, 0.05),
+
+		// South America (Table 8: 12.5% cellular, 4.1% of global cellular, 499M subs)
+		c("BR", "Brazil", SouthAmerica, 2.70, 0.099, 244, 12, 0.70, 6, 0.25),
+		c("AR", "Argentina", SouthAmerica, 0.70, 0.103, 61, 6, 0.70, 0, 0.12),
+		c("CO", "Colombia", SouthAmerica, 0.60, 0.124, 58, 6, 0.70, 0, 0.12),
+		c("CL", "Chile", SouthAmerica, 0.35, 0.111, 23, 4, 0.70, 0, 0.10),
+		c("PE", "Peru", SouthAmerica, 0.25, 0.128, 37, 4, 0.70, 1, 0.12),
+		c("EC", "Ecuador", SouthAmerica, 0.20, 0.145, 14, 3, 0.70, 1, 0.12),
+		c("VE", "Venezuela", SouthAmerica, 0.15, 0.188, 29, 4, 0.70, 0, 0.12),
+		c("BO", "Bolivia", SouthAmerica, 0.10, 0.385, 10, 3, 0.70, 0, 0.15),
+		c("UY", "Uruguay", SouthAmerica, 0.08, 0.103, 5, 2, 0.70, 0, 0.08),
+		c("PY", "Paraguay", SouthAmerica, 0.06, 0.274, 7.3, 2, 0.70, 0, 0.12),
+		c("GY", "Guyana", SouthAmerica, 0.01, 0.257, 0.7, 1, 0.70, 0, 0.10),
+		c("SR", "Suriname", SouthAmerica, 0.01, 0.257, 0.8, 1, 0.70, 0, 0.10),
+
+		// Africa (Table 8: 25.5% cellular, 2.9% of global cellular, 954M subs)
+		c("EG", "Egypt", Africa, 0.60, 0.145, 98, 6, 0.56, 0, 0.10),
+		c("ZA", "South Africa", Africa, 0.65, 0.137, 87, 7, 0.56, 0, 0.08),
+		c("MA", "Morocco", Africa, 0.20, 0.214, 44, 4, 0.56, 0, 0.10),
+		c("NG", "Nigeria", Africa, 0.18, 0.427, 154, 8, 0.56, 0, 0.30),
+		c("DZ", "Algeria", Africa, 0.11, 0.427, 47, 3, 0.56, 0, 0.97),
+		c("TN", "Tunisia", Africa, 0.10, 0.257, 14, 3, 0.56, 0, 0.10),
+		c("KE", "Kenya", Africa, 0.09, 0.385, 39, 6, 0.56, 0, 0.15),
+		c("GH", "Ghana", Africa, 0.075, 0.980, 38, 4, 0.25, 0, 0.20),
+		c("CI", "Ivory Coast", Africa, 0.045, 0.470, 27, 3, 0.56, 0, 0.15),
+		c("TZ", "Tanzania", Africa, 0.045, 0.427, 40, 4, 0.56, 0, 0.15),
+		c("CM", "Cameroon", Africa, 0.035, 0.427, 19, 3, 0.56, 0, 0.15),
+		c("UG", "Uganda", Africa, 0.035, 0.427, 22, 3, 0.56, 0, 0.15),
+		c("SN", "Senegal", Africa, 0.028, 0.385, 15, 3, 0.56, 0, 0.12),
+		c("ET", "Ethiopia", Africa, 0.028, 0.342, 46, 2, 0.56, 0, 0.10),
+		c("AO", "Angola", Africa, 0.025, 0.427, 13, 3, 0.56, 0, 0.12),
+		c("SD", "Sudan", Africa, 0.020, 0.427, 28, 2, 0.56, 0, 0.12),
+		c("CD", "DR Congo", Africa, 0.020, 0.513, 37, 3, 0.56, 0, 0.15),
+		c("MZ", "Mozambique", Africa, 0.020, 0.470, 18, 3, 0.56, 0, 0.15),
+		c("GN", "Guinea", Africa, 0.018, 0.598, 11, 2, 0.56, 0, 0.20),
+		c("ZM", "Zambia", Africa, 0.018, 0.470, 12, 3, 0.56, 0, 0.15),
+		c("ZW", "Zimbabwe", Africa, 0.018, 0.427, 13, 3, 0.56, 0, 0.15),
+		c("LY", "Libya", Africa, 0.015, 0.342, 9, 2, 0.56, 0, 0.10),
+		c("RW", "Rwanda", Africa, 0.012, 0.470, 8.9, 2, 0.56, 0, 0.15),
+		c("BJ", "Benin", Africa, 0.012, 0.513, 9, 2, 0.56, 0, 0.15),
+		c("BF", "Burkina Faso", Africa, 0.012, 0.513, 16, 2, 0.56, 0, 0.15),
+		c("ML", "Mali", Africa, 0.012, 0.470, 24, 2, 0.56, 0, 0.15),
+		c("MG", "Madagascar", Africa, 0.012, 0.513, 10, 3, 0.56, 0, 0.15),
+		c("BW", "Botswana", Africa, 0.009, 0.342, 3.2, 2, 0.56, 0, 0.10),
+		c("NE", "Niger", Africa, 0.008, 0.513, 11, 2, 0.56, 0, 0.15),
+		c("MU", "Mauritius", Africa, 0.008, 0.257, 1.8, 2, 0.56, 0, 0.08),
+		c("TG", "Togo", Africa, 0.008, 0.513, 5.5, 2, 0.56, 0, 0.15),
+		c("CG", "Congo", Africa, 0.007, 0.470, 4.8, 2, 0.56, 0, 0.15),
+		c("GA", "Gabon", Africa, 0.007, 0.385, 2.9, 2, 0.56, 0, 0.12),
+		c("MW", "Malawi", Africa, 0.007, 0.513, 7, 2, 0.56, 0, 0.15),
+		c("TD", "Chad", Africa, 0.006, 0.513, 6, 2, 0.56, 0, 0.15),
+		c("SO", "Somalia", Africa, 0.006, 0.556, 6, 2, 0.56, 0, 0.18),
+		c("RE", "Reunion", Africa, 0.005, 0.171, 0.8, 1, 0.56, 0, 0.05),
+		c("LS", "Lesotho", Africa, 0.004, 0.427, 2.1, 1, 0.56, 0, 0.12),
+		c("SZ", "Eswatini", Africa, 0.003, 0.427, 1.0, 1, 0.56, 0, 0.12),
+		c("NA", "Namibia", Africa, 0.008, 0.299, 2.6, 2, 0.56, 0, 0.10),
+
+		// Oceania (Table 8: 23.4% cellular, 3.0% of global cellular, 43.3M subs)
+		c("AU", "Australia", Oceania, 1.60, 0.197, 30, 5, 0.56, 2, 0.05),
+		c("NZ", "New Zealand", Oceania, 0.33, 0.120, 5.8, 3, 0.56, 1, 0.05),
+		c("FJ", "Fiji", Oceania, 0.022, 0.470, 0.9, 1, 0.56, 0, 0.12),
+		c("GU", "Guam", Oceania, 0.020, 0.274, 0.15, 1, 0.56, 0, 0.05),
+		c("NC", "New Caledonia", Oceania, 0.015, 0.231, 0.25, 1, 0.56, 0, 0.05),
+		c("PF", "French Polynesia", Oceania, 0.012, 0.257, 0.25, 1, 0.56, 0, 0.05),
+		c("PG", "Papua New Guinea", Oceania, 0.010, 0.556, 3.4, 1, 0.56, 0, 0.15),
+		c("WS", "Samoa", Oceania, 0.008, 0.427, 0.15, 1, 0.56, 0, 0.10),
+		c("TL", "Timor-Leste", Oceania, 0.005, 0.598, 1.5, 1, 0.56, 0, 0.15),
+		c("SB", "Solomon Islands", Oceania, 0.004, 0.598, 0.4, 1, 0.56, 0, 0.15),
+	}
+}
+
+// DefaultDB returns a DB built from DefaultCountries. It panics on error,
+// which would indicate a bug in the built-in table (covered by tests).
+func DefaultDB() *DB {
+	db, err := NewDB(DefaultCountries())
+	if err != nil {
+		panic(err)
+	}
+	return db
+}

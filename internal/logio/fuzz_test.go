@@ -1,0 +1,35 @@
+package logio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeLenient checks that lenient decoding survives arbitrary input
+// without panicking and accounts for every non-blank line as either a
+// record or a bad line.
+func FuzzDecodeLenient(f *testing.F) {
+	f.Add("{\"id\":1}\n{broken\n\n{\"id\":2}\n")
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add("null\n")
+	f.Add(strings.Repeat(`{"id":3}`+"\n", 50))
+	f.Fuzz(func(t *testing.T, in string) {
+		type rec struct {
+			ID int `json:"id"`
+		}
+		st, err := Decode(strings.NewReader(in), true, func(rec) error { return nil })
+		if err != nil {
+			return // scanner-level errors (e.g. oversize line) are allowed
+		}
+		nonBlank := 0
+		for _, line := range strings.Split(in, "\n") {
+			if strings.TrimSpace(line) != "" {
+				nonBlank++
+			}
+		}
+		if st.Records+st.Bad != nonBlank {
+			t.Fatalf("records %d + bad %d != non-blank lines %d", st.Records, st.Bad, nonBlank)
+		}
+	})
+}

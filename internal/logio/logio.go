@@ -1,0 +1,256 @@
+// Package logio implements the log plumbing shared by the BEACON and DEMAND
+// datasets: streaming JSONL readers and writers with transparent gzip (by
+// file suffix), and directory spools that shard long streams across files
+// the way a CDN log pipeline rotates collection output.
+//
+// Readers offer a strict mode (first malformed line aborts) and a lenient
+// mode that skips malformed or truncated lines while counting them — real
+// log pipelines must survive partial flushes, and the failure-injection
+// tests exercise exactly that.
+package logio
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Writer encodes one JSON record per line onto an io.Writer.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps w in a buffered JSONL writer.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one record as a JSON line.
+func (w *Writer) Write(v any) error {
+	if err := w.enc.Encode(v); err != nil {
+		return fmt.Errorf("logio: encode record %d: %w", w.n, err)
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// FileWriter is a Writer bound to a file, gzip-compressed when the path
+// ends in ".gz".
+type FileWriter struct {
+	*Writer
+	f  *os.File
+	gz *gzip.Writer
+}
+
+// Create opens path for writing (truncating), creating parent directories.
+func Create(path string) (*FileWriter, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("logio: create dir for %s: %w", path, err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("logio: create %s: %w", path, err)
+	}
+	fw := &FileWriter{f: f}
+	if strings.HasSuffix(path, ".gz") {
+		fw.gz = gzip.NewWriter(f)
+		fw.Writer = NewWriter(fw.gz)
+	} else {
+		fw.Writer = NewWriter(f)
+	}
+	return fw, nil
+}
+
+// Close flushes and closes the file.
+func (w *FileWriter) Close() error {
+	var errs []error
+	if err := w.Flush(); err != nil {
+		errs = append(errs, err)
+	}
+	if w.gz != nil {
+		if err := w.gz.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := w.f.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// ReadStats reports what a lenient read encountered.
+type ReadStats struct {
+	Records int // successfully decoded records
+	Bad     int // malformed lines skipped (lenient mode only)
+}
+
+// Decode streams records of type T from r, invoking fn per record. In
+// strict mode the first malformed line aborts with an error; in lenient
+// mode malformed lines are counted and skipped. fn returning an error stops
+// the stream and propagates the error.
+func Decode[T any](r io.Reader, lenient bool, fn func(T) error) (ReadStats, error) {
+	var st ReadStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var v T
+		if err := json.Unmarshal(raw, &v); err != nil {
+			if lenient {
+				st.Bad++
+				continue
+			}
+			return st, fmt.Errorf("logio: line %d: %w", line, err)
+		}
+		if err := fn(v); err != nil {
+			return st, err
+		}
+		st.Records++
+	}
+	if err := sc.Err(); err != nil {
+		return st, fmt.Errorf("logio: scan: %w", err)
+	}
+	return st, nil
+}
+
+// DecodeFile streams records from a file, transparently gunzipping ".gz".
+func DecodeFile[T any](path string, lenient bool, fn func(T) error) (ReadStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ReadStats{}, fmt.Errorf("logio: open %s: %w", path, err)
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return ReadStats{}, fmt.Errorf("logio: gunzip %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return Decode(r, lenient, fn)
+}
+
+// Spool writes a long record stream sharded across numbered files in a
+// directory, rotating after maxPerFile records.
+type Spool struct {
+	dir        string
+	prefix     string
+	gzip       bool
+	maxPerFile int
+	cur        *FileWriter
+	shard      int
+	total      int
+}
+
+// NewSpool creates a spool writing files named <prefix>-NNNN.jsonl[.gz]
+// under dir. maxPerFile <= 0 means a single shard.
+func NewSpool(dir, prefix string, gzipped bool, maxPerFile int) *Spool {
+	return &Spool{dir: dir, prefix: prefix, gzip: gzipped, maxPerFile: maxPerFile}
+}
+
+func (s *Spool) shardPath(i int) string {
+	ext := ".jsonl"
+	if s.gzip {
+		ext += ".gz"
+	}
+	return filepath.Join(s.dir, fmt.Sprintf("%s-%04d%s", s.prefix, i, ext))
+}
+
+// Write appends one record, rotating shards as needed.
+func (s *Spool) Write(v any) error {
+	if s.cur == nil {
+		fw, err := Create(s.shardPath(s.shard))
+		if err != nil {
+			return err
+		}
+		s.cur = fw
+	}
+	if err := s.cur.Write(v); err != nil {
+		return err
+	}
+	s.total++
+	if s.maxPerFile > 0 && s.cur.Count() >= s.maxPerFile {
+		if err := s.cur.Close(); err != nil {
+			return err
+		}
+		s.cur = nil
+		s.shard++
+	}
+	return nil
+}
+
+// Count returns the total number of records written across shards.
+func (s *Spool) Count() int { return s.total }
+
+// Close finishes the current shard.
+func (s *Spool) Close() error {
+	if s.cur == nil {
+		return nil
+	}
+	err := s.cur.Close()
+	s.cur = nil
+	return err
+}
+
+// SpoolFiles lists a spool's shard files in order.
+func SpoolFiles(dir, prefix string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("logio: read spool dir %s: %w", dir, err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix+"-") {
+			continue
+		}
+		if !strings.Contains(name, ".jsonl") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DecodeSpool streams every record of a spool in shard order.
+func DecodeSpool[T any](dir, prefix string, lenient bool, fn func(T) error) (ReadStats, error) {
+	files, err := SpoolFiles(dir, prefix)
+	if err != nil {
+		return ReadStats{}, err
+	}
+	var total ReadStats
+	for _, f := range files {
+		st, err := DecodeFile(f, lenient, fn)
+		total.Records += st.Records
+		total.Bad += st.Bad
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,243 @@
+package logio
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type rec struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+}
+
+func TestWriterAndDecode(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 5; i++ {
+		if err := w.Write(rec{ID: i, Name: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 5 {
+		t.Errorf("Count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got []rec
+	st, err := Decode(&buf, false, func(r rec) error { got = append(got, r); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 5 || st.Bad != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got[3].ID != 3 {
+		t.Errorf("records = %v", got)
+	}
+}
+
+func TestDecodeStrictFailsOnGarbage(t *testing.T) {
+	in := strings.NewReader(`{"id":1}` + "\n" + `{garbage` + "\n" + `{"id":2}` + "\n")
+	_, err := Decode(in, false, func(rec) error { return nil })
+	if err == nil {
+		t.Fatal("strict decode accepted garbage")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error does not name the line: %v", err)
+	}
+}
+
+func TestDecodeLenientSkipsGarbage(t *testing.T) {
+	in := strings.NewReader(`{"id":1}` + "\n" + `{trunc` + "\n\n" + `not json at all` + "\n" + `{"id":2}` + "\n")
+	n := 0
+	st, err := Decode(in, true, func(rec) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 2 || st.Bad != 2 || n != 2 {
+		t.Errorf("stats = %+v, n = %d", st, n)
+	}
+}
+
+func TestDecodeCallbackErrorStops(t *testing.T) {
+	in := strings.NewReader(`{"id":1}` + "\n" + `{"id":2}` + "\n")
+	sentinel := errors.New("stop")
+	calls := 0
+	_, err := Decode(in, false, func(rec) error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Errorf("callback ran %d times after error", calls)
+	}
+}
+
+func TestFileWriterPlainAndGzip(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"plain.jsonl", "zipped.jsonl.gz"} {
+		path := filepath.Join(dir, "sub", name)
+		fw, err := Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			if err := fw.Write(rec{ID: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		st, err := DecodeFile(path, false, func(r rec) error { sum += r.ID; return nil })
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if st.Records != 100 || sum != 4950 {
+			t.Errorf("%s: records=%d sum=%d", name, st.Records, sum)
+		}
+	}
+	// Gzip actually compresses: the file must not contain raw JSON.
+	raw, err := os.ReadFile(filepath.Join(dir, "sub", "zipped.jsonl.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte(`"id"`)) {
+		t.Error("gzip file contains plaintext JSON")
+	}
+}
+
+func TestDecodeFileMissing(t *testing.T) {
+	if _, err := DecodeFile[rec]("/nonexistent/nope.jsonl", false, func(rec) error { return nil }); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestDecodeFileBadGzip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "broken.jsonl.gz")
+	if err := os.WriteFile(path, []byte("this is not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFile[rec](path, true, func(rec) error { return nil }); err == nil {
+		t.Error("bad gzip accepted")
+	}
+}
+
+func TestSpoolSharding(t *testing.T) {
+	dir := t.TempDir()
+	sp := NewSpool(dir, "beacon", false, 40)
+	for i := 0; i < 100; i++ {
+		if err := sp.Write(rec{ID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Count() != 100 {
+		t.Errorf("Count = %d", sp.Count())
+	}
+	files, err := SpoolFiles(dir, "beacon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 { // 40 + 40 + 20
+		t.Fatalf("shards = %v", files)
+	}
+	var ids []int
+	st, err := DecodeSpool(dir, "beacon", false, func(r rec) error { ids = append(ids, r.ID); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 100 {
+		t.Errorf("decoded %d records", st.Records)
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("shard order broken at %d: got %d", i, id)
+		}
+	}
+}
+
+func TestSpoolGzipAndEmptyClose(t *testing.T) {
+	dir := t.TempDir()
+	sp := NewSpool(dir, "d", true, 0)
+	if err := sp.Close(); err != nil { // close with nothing written
+		t.Fatal(err)
+	}
+	sp = NewSpool(dir, "d", true, 0)
+	for i := 0; i < 10; i++ {
+		if err := sp.Write(rec{ID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := SpoolFiles(dir, "d")
+	if len(files) != 1 || !strings.HasSuffix(files[0], ".jsonl.gz") {
+		t.Fatalf("files = %v", files)
+	}
+	n := 0
+	if _, err := DecodeSpool(dir, "d", false, func(rec) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("decoded %d", n)
+	}
+}
+
+func TestSpoolFilesIgnoresForeign(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"beacon-0000.jsonl", "other-0000.jsonl", "beacon-readme.txt", "beacon-0001.jsonl"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "beacon-9999.jsonl"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files, err := SpoolFiles(dir, "beacon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("files = %v", files)
+	}
+}
+
+func TestSpoolFilesMissingDir(t *testing.T) {
+	if _, err := SpoolFiles("/nonexistent/spool", "x"); err == nil {
+		t.Error("missing dir accepted")
+	}
+}
+
+func TestDecodeTruncatedGzipLenient(t *testing.T) {
+	// A gzip stream cut mid-file: lenient decoding should surface the error
+	// (corruption at the compression layer is not a skippable line).
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.jsonl.gz")
+	fw, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		fw.Write(rec{ID: i, Name: strings.Repeat("x", 50)})
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFile[rec](path, true, func(rec) error { return nil }); err == nil {
+		t.Error("truncated gzip stream decoded without error")
+	}
+}

@@ -1,0 +1,43 @@
+package netaddr
+
+import "testing"
+
+// FuzzParseBlock checks that arbitrary input never panics and that every
+// accepted block round-trips through String.
+func FuzzParseBlock(f *testing.F) {
+	for _, seed := range []string{
+		"10.0.0.0/24", "2001:db8::/48", "not a prefix", "10.0.0.1/24",
+		"10.0.0.0/16", "::/48", "255.255.255.0/24", "10.0.0.0/240",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		b, err := ParseBlock(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseBlock(b.String())
+		if err != nil {
+			t.Fatalf("accepted %q -> %v but re-parse failed: %v", s, b, err)
+		}
+		if again != b {
+			t.Fatalf("round trip %q: %v != %v", s, b, again)
+		}
+	})
+}
+
+// FuzzParseIndex checks the compact index token parser.
+func FuzzParseIndex(f *testing.F) {
+	for _, seed := range []string{"v4-abc", "v6-ffff", "v5-0", "", "v4-", "v4-ffffffffffffffff"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		b, err := ParseIndex(s)
+		if err != nil {
+			return
+		}
+		if got, err := ParseIndex(FormatIndex(b)); err != nil || got != b {
+			t.Fatalf("round trip %q: %v vs %v (%v)", s, b, got, err)
+		}
+	})
+}

@@ -1,0 +1,367 @@
+package netaddr
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockFromAddrV4(t *testing.T) {
+	b := BlockFromAddr(netip.MustParseAddr("192.0.2.77"))
+	if got, want := b.String(), "192.0.2.0/24"; got != want {
+		t.Errorf("block = %s, want %s", got, want)
+	}
+	if b.Fam != IPv4 || b.IsV6() {
+		t.Errorf("family = %v, want IPv4", b.Fam)
+	}
+	if b.Bits() != 24 {
+		t.Errorf("bits = %d, want 24", b.Bits())
+	}
+}
+
+func TestBlockFromAddrV6(t *testing.T) {
+	b := BlockFromAddr(netip.MustParseAddr("2001:db8:99:1::5"))
+	if got, want := b.String(), "2001:db8:99::/48"; got != want {
+		t.Errorf("block = %s, want %s", got, want)
+	}
+	if !b.IsV6() || b.Bits() != 48 {
+		t.Errorf("family/bits wrong: %v/%d", b.Fam, b.Bits())
+	}
+}
+
+func TestBlockFromAddrUnmapsV4InV6(t *testing.T) {
+	mapped := netip.MustParseAddr("::ffff:198.51.100.9")
+	if got, want := BlockFromAddr(mapped), V4Block(198, 51, 100); got != want {
+		t.Errorf("mapped v4 block = %v, want %v", got, want)
+	}
+}
+
+func TestParseBlockRoundTrip(t *testing.T) {
+	for _, s := range []string{"10.0.0.0/24", "203.0.113.0/24", "2001:db8::/48", "2607:f8b0:1234::/48"} {
+		b, err := ParseBlock(s)
+		if err != nil {
+			t.Fatalf("ParseBlock(%q): %v", s, err)
+		}
+		if b.String() != s {
+			t.Errorf("round trip %q -> %q", s, b.String())
+		}
+	}
+}
+
+func TestParseBlockRejects(t *testing.T) {
+	for _, s := range []string{
+		"10.0.0.0/16",    // wrong v4 length
+		"10.0.0.1/24",    // host bits set
+		"2001:db8::/64",  // wrong v6 length
+		"2001:db8::1/48", // host bits set
+		"not-a-prefix",   // garbage
+		"10.0.0.0",       // bare address
+		"300.0.0.0/24",   // invalid octet
+	} {
+		if _, err := ParseBlock(s); err == nil {
+			t.Errorf("ParseBlock(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestBlockHostAddr(t *testing.T) {
+	b := V4Block(192, 0, 2)
+	if got, want := b.HostAddr(7), netip.MustParseAddr("192.0.2.7"); got != want {
+		t.Errorf("HostAddr(7) = %v, want %v", got, want)
+	}
+	if !b.Contains(b.HostAddr(255)) {
+		t.Error("block does not contain its own host address")
+	}
+	v6 := MustParseBlock("2001:db8:42::/48")
+	a := v6.HostAddr(0x1234)
+	if !v6.Contains(a) {
+		t.Errorf("v6 block does not contain host addr %v", a)
+	}
+}
+
+func TestBlockNextAndRange(t *testing.T) {
+	b := V4Block(10, 0, 255)
+	if got, want := b.Next(), V4Block(10, 1, 0); got != want {
+		t.Errorf("Next = %v, want %v", got, want)
+	}
+	r := V4Block(10, 0, 0).Range(3)
+	if len(r) != 3 || r[2] != V4Block(10, 0, 2) {
+		t.Errorf("Range(3) = %v", r)
+	}
+	// wrap at end of family space
+	last := Block{Fam: IPv4, Key: 1<<24 - 1}
+	if got := last.Next(); got.Key != 0 {
+		t.Errorf("wrap Next = %v", got)
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet(V4Block(1, 2, 3), V6Block(0x20010db80001))
+	if !s.Has(V4Block(1, 2, 3)) || s.Has(V4Block(1, 2, 4)) {
+		t.Error("Has misbehaves")
+	}
+	s.Add(V4Block(1, 2, 4))
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	if s.CountFamily(IPv4) != 2 || s.CountFamily(IPv6) != 1 {
+		t.Errorf("CountFamily = %d/%d", s.CountFamily(IPv4), s.CountFamily(IPv6))
+	}
+}
+
+func TestFormatParseIndex(t *testing.T) {
+	for _, b := range []Block{V4Block(1, 2, 3), V6Block(0x20010db800ff), {Fam: IPv4, Key: 0}} {
+		got, err := ParseIndex(FormatIndex(b))
+		if err != nil {
+			t.Fatalf("ParseIndex(%q): %v", FormatIndex(b), err)
+		}
+		if got != b {
+			t.Errorf("round trip %v -> %v", b, got)
+		}
+	}
+	for _, s := range []string{"", "v4", "v5-12", "v4-zz", "v4-ffffffff", "v6-ffffffffffffffff"} {
+		if _, err := ParseIndex(s); err == nil {
+			t.Errorf("ParseIndex(%q) succeeded, want error", s)
+		}
+	}
+}
+
+// Property: Block -> Addr -> Block is the identity for both families.
+func TestBlockAddrRoundTripProperty(t *testing.T) {
+	f := func(key uint64, v6 bool) bool {
+		var b Block
+		if v6 {
+			b = V6Block(key)
+		} else {
+			b = Block{Fam: IPv4, Key: key & (1<<24 - 1)}
+		}
+		return BlockFromAddr(b.Addr()) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FormatIndex/ParseIndex round-trips for arbitrary in-range keys.
+func TestIndexRoundTripProperty(t *testing.T) {
+	f := func(key uint64, v6 bool) bool {
+		var b Block
+		if v6 {
+			b = V6Block(key)
+		} else {
+			b = Block{Fam: IPv4, Key: key & (1<<24 - 1)}
+		}
+		got, err := ParseIndex(FormatIndex(b))
+		return err == nil && got == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every host address generated from a block maps back to it.
+func TestHostAddrContainedProperty(t *testing.T) {
+	f := func(key, host uint64, v6 bool) bool {
+		var b Block
+		if v6 {
+			b = V6Block(key)
+		} else {
+			b = Block{Fam: IPv4, Key: key & (1<<24 - 1)}
+		}
+		return BlockFromAddr(b.HostAddr(host)) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randV4Prefix(rng *rand.Rand) netip.Prefix {
+	bits := 8 + rng.IntN(17) // /8../24
+	a := netip.AddrFrom4([4]byte{byte(rng.Uint32()), byte(rng.Uint32()), byte(rng.Uint32()), byte(rng.Uint32())})
+	return netip.PrefixFrom(a, bits).Masked()
+}
+
+func TestTrieLongestMatch(t *testing.T) {
+	var tr Trie[string]
+	ins := map[string]string{
+		"10.0.0.0/8":      "coarse",
+		"10.1.0.0/16":     "mid",
+		"10.1.2.0/24":     "fine",
+		"2001:db8::/32":   "v6-coarse",
+		"2001:db8:7::/48": "v6-fine",
+	}
+	for p, v := range ins {
+		if err := tr.Insert(netip.MustParsePrefix(p), v); err != nil {
+			t.Fatalf("Insert(%s): %v", p, err)
+		}
+	}
+	if tr.Len() != len(ins) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(ins))
+	}
+	cases := []struct {
+		addr string
+		want string
+		ok   bool
+	}{
+		{"10.1.2.3", "fine", true},
+		{"10.1.9.9", "mid", true},
+		{"10.200.0.1", "coarse", true},
+		{"11.0.0.1", "", false},
+		{"2001:db8:7::1", "v6-fine", true},
+		{"2001:db8:8::1", "v6-coarse", true},
+		{"2001:db9::1", "", false},
+	}
+	for _, c := range cases {
+		got, ok := tr.Lookup(netip.MustParseAddr(c.addr))
+		if ok != c.ok || got != c.want {
+			t.Errorf("Lookup(%s) = %q,%v, want %q,%v", c.addr, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestTrieGetExact(t *testing.T) {
+	var tr Trie[int]
+	p := netip.MustParsePrefix("192.168.0.0/16")
+	if err := tr.Insert(p, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tr.Get(p); !ok || v != 42 {
+		t.Errorf("Get = %d,%v", v, ok)
+	}
+	if _, ok := tr.Get(netip.MustParsePrefix("192.168.0.0/17")); ok {
+		t.Error("Get found a prefix that was never inserted")
+	}
+	// replacement does not grow size
+	if err := tr.Insert(p, 43); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len after replace = %d, want 1", tr.Len())
+	}
+	if v, _ := tr.Get(p); v != 43 {
+		t.Errorf("Get after replace = %d, want 43", v)
+	}
+}
+
+func TestTrieLookupBlock(t *testing.T) {
+	var tr Trie[string]
+	if err := tr.Insert(netip.MustParsePrefix("198.51.0.0/16"), "carrier"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tr.LookupBlock(V4Block(198, 51, 100)); !ok || v != "carrier" {
+		t.Errorf("LookupBlock = %q,%v", v, ok)
+	}
+	if _, ok := tr.LookupBlock(V4Block(198, 52, 0)); ok {
+		t.Error("LookupBlock matched outside prefix")
+	}
+}
+
+func TestTrieWalkRecoversInsertedPrefixes(t *testing.T) {
+	var tr Trie[int]
+	rng := rand.New(rand.NewPCG(1, 2))
+	want := map[netip.Prefix]int{}
+	for i := 0; i < 200; i++ {
+		p := randV4Prefix(rng)
+		want[p] = i
+		if err := tr.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[netip.Prefix]int{}
+	tr.Walk(func(p netip.Prefix, v int) bool {
+		got[p] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("walk returned %d prefixes, want %d", len(got), len(want))
+	}
+	for p, v := range want {
+		if got[p] != v {
+			t.Errorf("walk[%s] = %d, want %d", p, got[p], v)
+		}
+	}
+}
+
+func TestTrieWalkEarlyStop(t *testing.T) {
+	var tr Trie[int]
+	for i := 0; i < 10; i++ {
+		tr.Insert(netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(i), 0, 0, 0}), 8), i)
+	}
+	n := 0
+	tr.Walk(func(netip.Prefix, int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("walk visited %d, want 3", n)
+	}
+}
+
+// Property: trie longest-match agrees with a naive linear scan.
+func TestTrieMatchesNaiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	for round := 0; round < 20; round++ {
+		var tr Trie[int]
+		prefixes := make([]netip.Prefix, 0, 50)
+		for i := 0; i < 50; i++ {
+			p := randV4Prefix(rng)
+			prefixes = append(prefixes, p)
+			tr.Insert(p, i)
+		}
+		for probe := 0; probe < 100; probe++ {
+			addr := netip.AddrFrom4([4]byte{byte(rng.Uint32()), byte(rng.Uint32()), byte(rng.Uint32()), byte(rng.Uint32())})
+			bestBits, bestIdx, bestOK := -1, -1, false
+			for i, p := range prefixes {
+				if p.Contains(addr) && p.Bits() > bestBits {
+					bestBits, bestIdx, bestOK = p.Bits(), i, true
+				}
+			}
+			// Later duplicates overwrite earlier ones in the trie; mimic that.
+			if bestOK {
+				for i := len(prefixes) - 1; i >= 0; i-- {
+					if prefixes[i] == prefixes[bestIdx] {
+						bestIdx = i
+						break
+					}
+				}
+			}
+			got, ok := tr.Lookup(addr)
+			if ok != bestOK || (ok && got != bestIdx) {
+				t.Fatalf("round %d: Lookup(%v) = %d,%v, naive = %d,%v", round, addr, got, ok, bestIdx, bestOK)
+			}
+		}
+	}
+}
+
+func TestTrieEmpty(t *testing.T) {
+	var tr Trie[int]
+	if _, ok := tr.Lookup(netip.MustParseAddr("1.2.3.4")); ok {
+		t.Error("empty trie matched")
+	}
+	if _, ok := tr.Get(netip.MustParsePrefix("0.0.0.0/0")); ok {
+		t.Error("empty trie Get matched")
+	}
+	tr.Walk(func(netip.Prefix, int) bool { t.Error("walk visited node in empty trie"); return false })
+}
+
+func BenchmarkTrieLookup(b *testing.B) {
+	var tr Trie[int]
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 10000; i++ {
+		tr.Insert(randV4Prefix(rng), i)
+	}
+	addrs := make([]netip.Addr, 1024)
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom4([4]byte{byte(rng.Uint32()), byte(rng.Uint32()), byte(rng.Uint32()), byte(rng.Uint32())})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkBlockFromAddr(b *testing.B) {
+	a := netip.MustParseAddr("203.0.113.200")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BlockFromAddr(a)
+	}
+}

@@ -1,0 +1,166 @@
+package netaddr
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Trie is a binary radix trie mapping CIDR prefixes to values, supporting
+// longest-prefix match. It is used to resolve addresses and blocks against
+// ground-truth allocation lists (carrier prefix inventories, AS address
+// plans), which may be coarser than the /24 and /48 aggregation granularity.
+//
+// IPv4 and IPv6 prefixes live in the same trie: IPv4 addresses are mapped
+// into the IPv4-mapped IPv6 space (::ffff:0:0/96), so an IPv4 /24 is stored
+// at depth 120. The zero value is an empty trie ready for use. Trie is not
+// safe for concurrent mutation; concurrent lookups are safe once populated.
+type Trie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// mappedBits returns the address as a 16-byte array in the unified space and
+// the depth offset for the prefix length.
+func mappedBits(p netip.Prefix) (addr [16]byte, depth int, err error) {
+	if !p.IsValid() {
+		return addr, 0, fmt.Errorf("netaddr: invalid prefix")
+	}
+	a := p.Addr()
+	if a.Is4() {
+		a = netip.AddrFrom16(a.As16()) // IPv4-mapped form
+		depth = 96 + p.Bits()
+	} else {
+		depth = p.Bits()
+	}
+	return a.As16(), depth, nil
+}
+
+func bitAt(addr [16]byte, i int) int {
+	return int(addr[i/8]>>(7-i%8)) & 1
+}
+
+// Insert stores val at prefix p, replacing any existing value at exactly p.
+func (t *Trie[V]) Insert(p netip.Prefix, val V) error {
+	addr, depth, err := mappedBits(p.Masked())
+	if err != nil {
+		return err
+	}
+	if t.root == nil {
+		t.root = &trieNode[V]{}
+	}
+	n := t.root
+	for i := 0; i < depth; i++ {
+		b := bitAt(addr, i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val, n.set = val, true
+	return nil
+}
+
+// Lookup returns the value of the longest prefix containing addr.
+func (t *Trie[V]) Lookup(addr netip.Addr) (val V, ok bool) {
+	if t.root == nil {
+		return val, false
+	}
+	a := addr
+	if a.Is4() {
+		a = netip.AddrFrom16(a.As16())
+	}
+	bits := a.As16()
+	n := t.root
+	for i := 0; ; i++ {
+		if n.set {
+			val, ok = n.val, true
+		}
+		if i >= 128 {
+			break
+		}
+		n = n.child[bitAt(bits, i)]
+		if n == nil {
+			break
+		}
+	}
+	return val, ok
+}
+
+// LookupBlock returns the value of the longest prefix containing the whole
+// block (matched by its first address; blocks never straddle coarser
+// allocations in the synthetic world, and real allocations are CIDR-aligned).
+func (t *Trie[V]) LookupBlock(b Block) (V, bool) {
+	return t.Lookup(b.Addr())
+}
+
+// Get returns the value stored at exactly prefix p.
+func (t *Trie[V]) Get(p netip.Prefix) (val V, ok bool) {
+	addr, depth, err := mappedBits(p.Masked())
+	if err != nil || t.root == nil {
+		return val, false
+	}
+	n := t.root
+	for i := 0; i < depth; i++ {
+		n = n.child[bitAt(addr, i)]
+		if n == nil {
+			return val, false
+		}
+	}
+	return n.val, n.set
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Walk visits every stored prefix/value pair in no particular order. The
+// callback returns false to stop early. Prefix reconstruction reverses the
+// IPv4 mapping so callers see the prefixes they inserted.
+func (t *Trie[V]) Walk(fn func(p netip.Prefix, val V) bool) {
+	if t.root == nil {
+		return
+	}
+	var addr [16]byte
+	walkTrie(t.root, addr, 0, fn)
+}
+
+func walkTrie[V any](n *trieNode[V], addr [16]byte, depth int, fn func(netip.Prefix, V) bool) bool {
+	if n.set {
+		p := prefixFromBits(addr, depth)
+		if !fn(p, n.val) {
+			return false
+		}
+	}
+	for b := 0; b < 2; b++ {
+		c := n.child[b]
+		if c == nil {
+			continue
+		}
+		next := addr
+		if b == 1 {
+			next[depth/8] |= 1 << (7 - depth%8)
+		}
+		if !walkTrie(c, next, depth+1, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+func prefixFromBits(addr [16]byte, depth int) netip.Prefix {
+	a := netip.AddrFrom16(addr)
+	if depth >= 96 {
+		if v4 := a.Unmap(); v4.Is4() {
+			return netip.PrefixFrom(v4, depth-96)
+		}
+	}
+	return netip.PrefixFrom(a, depth)
+}

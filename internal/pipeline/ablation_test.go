@@ -1,0 +1,86 @@
+package pipeline
+
+import "testing"
+
+func TestAblationASNOnly(t *testing.T) {
+	r := testRun(t)
+	res := AblationASNOnly(r)
+	// The paper's core argument: prefix-level identification is far more
+	// precise than AS-level on a world where most cellular ASes are mixed.
+	pPrefix := res.PrefixLevel.Precision()
+	pASN := res.ASNLevel.Precision()
+	if pASN >= pPrefix {
+		t.Errorf("AS-level precision %.3f >= prefix-level %.3f; mixed networks should break AS granularity",
+			pASN, pPrefix)
+	}
+	if pASN > 0.6 {
+		t.Errorf("AS-level precision %.3f suspiciously high", pASN)
+	}
+	if pPrefix < 0.85 {
+		t.Errorf("prefix-level precision %.3f too low", pPrefix)
+	}
+	// AS-level recall is higher (it sweeps in the beacon-less blocks), the
+	// classic precision/recall trade the paper rejects.
+	if res.ASNLevel.Recall() < res.PrefixLevel.Recall() {
+		t.Error("AS-level should over-cover, not under-cover")
+	}
+}
+
+func TestAblationThreshold(t *testing.T) {
+	r := testRun(t)
+	res, err := AblationThreshold(r, []float64{0.1, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	// Detection counts shrink as the threshold rises.
+	if !(res[0].Detected > res[1].Detected && res[1].Detected > res[2].Detected) {
+		t.Errorf("detected counts not monotone: %d/%d/%d",
+			res[0].Detected, res[1].Detected, res[2].Detected)
+	}
+	// F1 is stable between 0.1 and 0.5 (the paper's plateau).
+	f1Low, f1Mid := res[0].ByDemand.F1(), res[1].ByDemand.F1()
+	if diff := f1Low - f1Mid; diff > 0.05 || diff < -0.05 {
+		t.Errorf("F1 plateau broken: %.3f at 0.1 vs %.3f at 0.5", f1Low, f1Mid)
+	}
+	// The original detection set is restored.
+	if r.Detected.Len() != res[1].Detected {
+		// res[1] is threshold 0.5 — the run's own operating point.
+		t.Errorf("ablation mutated the result: %d vs %d", r.Detected.Len(), res[1].Detected)
+	}
+	if _, err := AblationThreshold(r, []float64{0}); err == nil {
+		t.Error("invalid threshold accepted")
+	}
+}
+
+func TestAblationNoASFilters(t *testing.T) {
+	r := testRun(t)
+	res := AblationNoASFilters(r)
+	if res.FalseASes < 400 {
+		t.Errorf("straw-man admitted %d false ASes, want hundreds", res.FalseASes)
+	}
+	removed := res.FalseASes - res.SurvivingFalse
+	if removed < res.FalseASes*9/10 {
+		t.Errorf("filters removed only %d of %d false ASes", removed, res.FalseASes)
+	}
+	if res.TaggedASes <= res.FilteredASes {
+		t.Error("filtering did not shrink the AS set")
+	}
+}
+
+func TestAblationNoSmoothing(t *testing.T) {
+	r := testRun(t)
+	res, err := AblationNoSmoothing(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SmoothedASes == 0 || res.Day0ASes == 0 {
+		t.Fatal("empty AS sets")
+	}
+	// Day-to-day jitter flips some borderline ASes, but the bulk is stable.
+	if res.Flipped > res.SmoothedASes/4 {
+		t.Errorf("churn too high: %d flips of %d ASes", res.Flipped, res.SmoothedASes)
+	}
+}

@@ -1,0 +1,251 @@
+// Package pipeline wires the full reproduction together: generate a
+// synthetic world, derive the BEACON and DEMAND datasets from it, classify
+// subnets, identify and characterize cellular ASes, and run the DNS and
+// macroscopic analyses. Each experiment (table/figure) consumes a Result.
+package pipeline
+
+import (
+	"fmt"
+	"net/netip"
+
+	"cellspot/internal/aschar"
+	"cellspot/internal/beacon"
+	"cellspot/internal/classify"
+	"cellspot/internal/demand"
+	"cellspot/internal/dnsmap"
+	"cellspot/internal/macro"
+	"cellspot/internal/netaddr"
+	"cellspot/internal/rdns"
+	"cellspot/internal/world"
+)
+
+// Config parameterizes one full pipeline run.
+type Config struct {
+	World     world.Config
+	Beacon    beacon.GenConfig
+	Demand    demand.GenConfig
+	Threshold float64 // classifier threshold (paper: 0.5)
+	MinCellDU float64 // AS filter rule 1 (paper: 0.1 DU)
+	MinHits   int     // AS filter rule 2 (paper: 300 responses)
+}
+
+// DefaultConfig returns the paper-parameter run at the default world scale.
+func DefaultConfig() Config {
+	return Config{
+		World:     world.DefaultConfig(),
+		Beacon:    beacon.DefaultGenConfig(),
+		Demand:    demand.DefaultGenConfig(),
+		Threshold: classify.DefaultThreshold,
+		MinCellDU: 0.1,
+		MinHits:   300,
+	}
+}
+
+// Result is everything one pipeline run produces.
+type Result struct {
+	Config Config
+	World  *world.World
+
+	Beacon   *beacon.Aggregate
+	Demand   *demand.Dataset
+	Daily    *demand.Daily
+	Detected netaddr.Set
+
+	Stats    map[uint32]*aschar.Stats
+	Filter   aschar.FilterResult
+	Networks []aschar.Network // final cellular ASes, characterized
+
+	Macro *macro.Analysis
+
+	Affinity      dnsmap.Affinity
+	ResolverUsage map[netip.Addr]*dnsmap.Usage
+	PublicDNS     map[uint32]*dnsmap.PublicUsage
+
+	// RDNS holds the reverse-DNS corroboration of detected cellular space
+	// per AS (the paper's §5 proxy confirmation, mechanized).
+	RDNS map[uint32]*rdns.Corroboration
+
+	resolverAS map[netip.Addr]uint32 // lazy BGP-style resolver→AS index
+}
+
+// ASOf returns the BGP-style block→AS mapping for the run's world.
+func (r *Result) ASOf(b netaddr.Block) (uint32, bool) {
+	bi := r.World.BlockIndex[b]
+	if bi == nil {
+		return 0, false
+	}
+	return bi.ASN, true
+}
+
+// CountryOf returns the whois-style AS→country mapping.
+func (r *Result) CountryOf(asNum uint32) (string, bool) {
+	a, ok := r.World.Registry.Lookup(asNum)
+	if !ok {
+		return "", false
+	}
+	return a.Country, true
+}
+
+// ResolverAS maps a resolver address to its AS, as BGP would.
+func (r *Result) ResolverAS(addr netip.Addr) (uint32, bool) {
+	if r.resolverAS == nil {
+		r.resolverAS = make(map[netip.Addr]uint32, len(r.World.Resolvers))
+		for _, res := range r.World.Resolvers {
+			r.resolverAS[res.Addr] = res.ASN
+		}
+	}
+	a, ok := r.resolverAS[addr]
+	return a, ok
+}
+
+// Run executes the full pipeline on a freshly generated global world.
+func Run(cfg Config) (*Result, error) {
+	w, err := world.Generate(cfg.World)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: world: %w", err)
+	}
+	return RunOnWorld(w, cfg)
+}
+
+// RunCaseStudy executes the pipeline on the paper-scale three-carrier
+// world used for Table 3, Fig 3, Fig 6, and Fig 8.
+func RunCaseStudy(cfg Config) (*Result, error) {
+	w, err := world.GenerateCaseStudy(world.CaseStudyConfig{Seed: cfg.World.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: case study: %w", err)
+	}
+	return RunOnWorld(w, cfg)
+}
+
+// RunOnWorld executes the measurement pipeline against an existing world.
+func RunOnWorld(w *world.World, cfg Config) (*Result, error) {
+	r := &Result{Config: cfg, World: w}
+
+	agg, err := beacon.Generate(w, cfg.Beacon)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: beacon: %w", err)
+	}
+	r.Beacon = agg
+
+	daily, err := demand.GenerateDaily(w, cfg.Demand)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: demand: %w", err)
+	}
+	r.Daily = daily
+	ds, err := daily.Smooth()
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: smooth: %w", err)
+	}
+	r.Demand = ds
+
+	if err := r.Classify(cfg.Threshold); err != nil {
+		return nil, err
+	}
+	r.Analyze()
+	return r, nil
+}
+
+// Classify (re)runs subnet classification and everything downstream of it
+// at the given threshold. Exposed separately for threshold ablations.
+func (r *Result) Classify(threshold float64) error {
+	cls, err := classify.New(threshold)
+	if err != nil {
+		return fmt.Errorf("pipeline: %w", err)
+	}
+	r.Detected = cls.Classify(r.Beacon)
+	return nil
+}
+
+// Analyze runs the AS, macro and DNS stages from the current detection set.
+func (r *Result) Analyze() {
+	in := aschar.Inputs{
+		Detected: r.Detected,
+		Beacon:   r.Beacon,
+		Demand:   r.Demand,
+		ASOf:     r.ASOf,
+	}
+	r.Stats = aschar.BuildStats(in)
+	rules := aschar.Rules{
+		MinCellDU: r.Config.MinCellDU,
+		MinHits:   r.Config.MinHits,
+		Snapshot:  r.World.Snapshot,
+	}
+	r.Filter = aschar.Filter(r.Stats, rules)
+	r.Networks = aschar.Characterize(r.Filter.AfterRule3, r.Stats)
+
+	cellASes := make(map[uint32]bool, len(r.Filter.AfterRule3))
+	for _, a := range r.Filter.AfterRule3 {
+		cellASes[a] = true
+	}
+	r.Macro = macro.Build(macro.Inputs{
+		Demand:       r.Demand,
+		Beacon:       r.Beacon,
+		Detected:     r.Detected,
+		ASOf:         r.ASOf,
+		CountryOf:    r.CountryOf,
+		Countries:    r.World.Countries,
+		CellularASes: cellASes,
+	})
+
+	r.RDNS = rdns.Corroborate(r.Detected, rdns.FromWorld(r.World), r.ASOf)
+
+	r.Affinity = r.buildAffinity()
+	r.ResolverUsage = dnsmap.ResolverUsage(r.Affinity, r.Demand, r.Detected)
+	known := dnsmap.KnownPublicResolvers()
+	r.PublicDNS = dnsmap.PublicDNSByAS(r.Affinity, r.Demand, r.Detected, r.ASOf,
+		func(a netip.Addr) string { return known[a] })
+}
+
+// buildAffinity converts the world's resolver-ID affinity into the
+// address-keyed form the DNS analysis consumes (the measured dataset a CDN
+// derives from DNS/HTTP log correlation).
+func (r *Result) buildAffinity() dnsmap.Affinity {
+	out := make(dnsmap.Affinity, len(r.World.Affinity))
+	for block, ws := range r.World.Affinity {
+		assocs := make([]dnsmap.Assoc, 0, len(ws))
+		for _, rw := range ws {
+			res := r.World.ResolverByID(rw.ResolverID)
+			if res == nil {
+				continue
+			}
+			assocs = append(assocs, dnsmap.Assoc{Resolver: res.Addr, Weight: rw.Weight})
+		}
+		out[block] = assocs
+	}
+	return out
+}
+
+// MixedASSet returns the identified mixed cellular ASes as a set.
+func (r *Result) MixedASSet() map[uint32]bool {
+	out := make(map[uint32]bool)
+	for _, n := range r.Networks {
+		if !n.Dedicated {
+			out[n.ASN] = true
+		}
+	}
+	return out
+}
+
+// NetworkByASN returns the characterized network for an AS, or nil.
+func (r *Result) NetworkByASN(asNum uint32) *aschar.Network {
+	for i := range r.Networks {
+		if r.Networks[i].ASN == asNum {
+			return &r.Networks[i]
+		}
+	}
+	return nil
+}
+
+// TruthConfusion scores the subnet classifier against the whole world's
+// ground truth (not just one carrier), by count and by demand.
+func (r *Result) TruthConfusion() (byCount, byDemand classify.Confusion) {
+	for _, bi := range r.World.Blocks {
+		if bi.Demand <= 0 {
+			continue // score active space, as the paper's carriers do
+		}
+		det := r.Detected.Has(bi.Block)
+		byCount.Add(bi.Cellular, det, 1)
+		byDemand.Add(bi.Cellular, det, r.Demand.DU(bi.Block))
+	}
+	return byCount, byDemand
+}

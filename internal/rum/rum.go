@@ -1,0 +1,273 @@
+// Package rum implements the Real-User-Monitoring collection path: an HTTP
+// collector that receives beacon records (NDJSON batches, as a CDN edge
+// would spool them), aggregates them per block in memory, and optionally
+// writes them to a JSONL spool; plus the client used by the beacon
+// simulator. This is the live end-to-end path behind the paper's BEACON
+// dataset.
+package rum
+
+import (
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"cellspot/internal/beacon"
+	"cellspot/internal/logio"
+	"cellspot/internal/netinfo"
+)
+
+// MaxBodyBytes bounds one POST body; batches beyond it are rejected.
+const MaxBodyBytes = 16 << 20
+
+// Collector receives and aggregates beacon records.
+type Collector struct {
+	mu        sync.Mutex
+	agg       *beacon.Aggregate
+	spool     *logio.Spool
+	authToken string
+	received  int
+	rejected  int
+}
+
+// Option configures a Collector.
+type Option func(*Collector)
+
+// WithSpool writes every accepted record to the given spool in addition to
+// aggregating it.
+func WithSpool(sp *logio.Spool) Option {
+	return func(c *Collector) { c.spool = sp }
+}
+
+// WithAuthToken requires batch posts to carry the shared secret in an
+// Authorization: Bearer header — edge collectors are not open write
+// endpoints. Stats remain unauthenticated (they are operational metadata).
+func WithAuthToken(token string) Option {
+	return func(c *Collector) { c.authToken = token }
+}
+
+// NewCollector creates an empty collector.
+func NewCollector(opts ...Option) *Collector {
+	c := &Collector{agg: beacon.NewAggregate()}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Stats reports collector counters.
+type Stats struct {
+	Received int `json:"received"`
+	Rejected int `json:"rejected"`
+	Blocks   int `json:"blocks"`
+}
+
+// Stats returns a snapshot of the collector's counters.
+func (c *Collector) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Received: c.received, Rejected: c.rejected, Blocks: c.agg.Blocks()}
+}
+
+// Snapshot returns a copy of the current aggregate.
+func (c *Collector) Snapshot() *beacon.Aggregate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := beacon.NewAggregate()
+	out.Merge(c.agg)
+	return out
+}
+
+// Close flushes the spool, if any.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.spool == nil {
+		return nil
+	}
+	return c.spool.Close()
+}
+
+// Handler returns the collector's HTTP mux:
+//
+//	POST /v1/beacons — NDJSON beacon records (one JSON object per line)
+//	GET  /v1/stats   — collector counters as JSON
+func (c *Collector) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/beacons", c.handleBeacons)
+	mux.HandleFunc("GET /v1/stats", c.handleStats)
+	return mux
+}
+
+func (c *Collector) handleBeacons(w http.ResponseWriter, r *http.Request) {
+	if c.authToken != "" {
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(c.authToken)) != 1 {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+	}
+	body := http.MaxBytesReader(w, r.Body, MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	var batch []beacon.Record
+	for {
+		var rec beacon.Record
+		err := dec.Decode(&rec)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			c.reject(1)
+			http.Error(w, fmt.Sprintf("bad record after %d: %v", len(batch), err), http.StatusBadRequest)
+			return
+		}
+		if err := validateRecord(rec); err != nil {
+			c.reject(1)
+			http.Error(w, fmt.Sprintf("invalid record %d: %v", len(batch), err), http.StatusBadRequest)
+			return
+		}
+		batch = append(batch, rec)
+	}
+	if err := c.accept(batch); err != nil {
+		http.Error(w, "spool failure", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"accepted":%d}`+"\n", len(batch))
+}
+
+func validateRecord(rec beacon.Record) error {
+	if !rec.IP.IsValid() {
+		return fmt.Errorf("missing or invalid IP")
+	}
+	if _, err := netinfo.ParseConnectionType(rec.Conn); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (c *Collector) accept(batch []beacon.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, rec := range batch {
+		if c.spool != nil {
+			if err := c.spool.Write(rec); err != nil {
+				return err
+			}
+		}
+		c.agg.AddRecord(rec)
+		c.received++
+	}
+	return nil
+}
+
+func (c *Collector) reject(n int) {
+	c.mu.Lock()
+	c.rejected += n
+	c.mu.Unlock()
+}
+
+func (c *Collector) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(c.Stats()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Client posts beacon batches to a collector.
+type Client struct {
+	// BaseURL is the collector root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 10s timeout.
+	HTTPClient *http.Client
+	// BatchSize bounds records per POST (default 500).
+	BatchSize int
+	// AuthToken, when set, is sent as a Bearer token on beacon posts.
+	AuthToken string
+}
+
+func (cl *Client) httpClient() *http.Client {
+	if cl.HTTPClient != nil {
+		return cl.HTTPClient
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+func (cl *Client) batchSize() int {
+	if cl.BatchSize > 0 {
+		return cl.BatchSize
+	}
+	return 500
+}
+
+// Post sends records in batches; it stops at the first failure.
+func (cl *Client) Post(ctx context.Context, records []beacon.Record) error {
+	bs := cl.batchSize()
+	for start := 0; start < len(records); start += bs {
+		end := min(start+bs, len(records))
+		if err := cl.postBatch(ctx, records[start:end]); err != nil {
+			return fmt.Errorf("rum: batch at %d: %w", start, err)
+		}
+	}
+	return nil
+}
+
+func (cl *Client) postBatch(ctx context.Context, batch []beacon.Record) error {
+	pr, pw := io.Pipe()
+	go func() {
+		enc := json.NewEncoder(pw)
+		for _, rec := range batch {
+			if err := enc.Encode(rec); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.Close()
+	}()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cl.BaseURL+"/v1/beacons", pr)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	if cl.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+cl.AuthToken)
+	}
+	resp, err := cl.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("collector returned %s: %s", resp.Status, msg)
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// FetchStats retrieves the collector's counters.
+func (cl *Client) FetchStats(ctx context.Context) (Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cl.BaseURL+"/v1/stats", nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	resp, err := cl.httpClient().Do(req)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Stats{}, fmt.Errorf("collector returned %s", resp.Status)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}

@@ -1,0 +1,232 @@
+package rum
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"cellspot/internal/beacon"
+	"cellspot/internal/logio"
+	"cellspot/internal/netaddr"
+)
+
+func rec(ip, conn string) beacon.Record {
+	return beacon.Record{
+		Time: time.Date(2016, 12, 15, 12, 0, 0, 0, time.UTC),
+		IP:   netip.MustParseAddr(ip),
+		Conn: conn, Browser: "Chrome Mobile", PageLoadMS: 900,
+	}
+}
+
+func TestCollectorEndToEnd(t *testing.T) {
+	col := NewCollector()
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+	cl := &Client{BaseURL: srv.URL, BatchSize: 3}
+
+	records := []beacon.Record{
+		rec("10.1.1.5", "cellular"),
+		rec("10.1.1.6", "cellular"),
+		rec("10.1.1.7", "wifi"),
+		rec("10.1.1.8", ""), // no API data
+		rec("10.2.2.5", "wifi"),
+	}
+	if err := cl.Post(context.Background(), records); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.FetchStats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Received != 5 || st.Rejected != 0 || st.Blocks != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	agg := col.Snapshot()
+	r, ok := agg.Ratio(netaddr.V4Block(10, 1, 1))
+	if !ok || r != 2.0/3 {
+		t.Errorf("ratio = %g,%v", r, ok)
+	}
+	if tot := agg.Totals(); tot.Hits != 5 || tot.API != 4 || tot.Cell != 2 {
+		t.Errorf("totals = %+v", tot)
+	}
+}
+
+func TestCollectorRejectsGarbage(t *testing.T) {
+	col := NewCollector()
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/beacons", "application/x-ndjson",
+		strings.NewReader("{not json}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage returned %d", resp.StatusCode)
+	}
+	// Bad connection type.
+	resp, err = http.Post(srv.URL+"/v1/beacons", "application/x-ndjson",
+		strings.NewReader(`{"ip":"1.2.3.4","conn":"quantum"}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad conn returned %d", resp.StatusCode)
+	}
+	// Missing IP.
+	resp, err = http.Post(srv.URL+"/v1/beacons", "application/x-ndjson",
+		strings.NewReader(`{"conn":"wifi"}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing IP returned %d", resp.StatusCode)
+	}
+	if st := col.Stats(); st.Rejected != 3 || st.Received != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCollectorMethodRouting(t *testing.T) {
+	srv := httptest.NewServer(NewCollector().Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/beacons")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("GET /v1/beacons accepted")
+	}
+	resp, err = http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path returned %d", resp.StatusCode)
+	}
+}
+
+func TestCollectorSpool(t *testing.T) {
+	dir := t.TempDir()
+	sp := logio.NewSpool(dir, "rum", false, 0)
+	col := NewCollector(WithSpool(sp))
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	cl := &Client{BaseURL: srv.URL}
+	if err := cl.Post(context.Background(), []beacon.Record{
+		rec("9.9.9.1", "cellular"), rec("9.9.9.2", "wifi"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The spool replays into an equal aggregate.
+	replay := beacon.NewAggregate()
+	st, err := logio.DecodeSpool(dir, "rum", false, func(r beacon.Record) error {
+		replay.AddRecord(r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 2 {
+		t.Fatalf("spool records = %d", st.Records)
+	}
+	live := col.Snapshot()
+	if live.Blocks() != replay.Blocks() || live.Totals() != replay.Totals() {
+		t.Error("spool replay diverges from live aggregate")
+	}
+}
+
+func TestClientBatching(t *testing.T) {
+	var posts int
+	col := NewCollector()
+	h := col.Handler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			posts++
+		}
+		h.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	cl := &Client{BaseURL: srv.URL, BatchSize: 2}
+	var recs []beacon.Record
+	for i := 0; i < 5; i++ {
+		recs = append(recs, rec("8.8.8.8", "wifi"))
+	}
+	if err := cl.Post(context.Background(), recs); err != nil {
+		t.Fatal(err)
+	}
+	if posts != 3 { // 2+2+1
+		t.Errorf("posts = %d, want 3", posts)
+	}
+}
+
+func TestClientErrorPropagation(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	cl := &Client{BaseURL: srv.URL}
+	err := cl.Post(context.Background(), []beacon.Record{rec("1.1.1.1", "wifi")})
+	if err == nil || !strings.Contains(err.Error(), "500") {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := cl.FetchStats(context.Background()); err == nil {
+		t.Error("FetchStats swallowed server error")
+	}
+}
+
+func TestCollectorAuth(t *testing.T) {
+	col := NewCollector(WithAuthToken("s3cret"))
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	// No token: rejected.
+	noAuth := &Client{BaseURL: srv.URL}
+	if err := noAuth.Post(context.Background(), []beacon.Record{rec("1.1.1.1", "wifi")}); err == nil {
+		t.Error("unauthenticated post accepted")
+	}
+	// Wrong token: rejected.
+	wrong := &Client{BaseURL: srv.URL, AuthToken: "nope"}
+	if err := wrong.Post(context.Background(), []beacon.Record{rec("1.1.1.1", "wifi")}); err == nil {
+		t.Error("wrong token accepted")
+	}
+	// Correct token: accepted.
+	ok := &Client{BaseURL: srv.URL, AuthToken: "s3cret"}
+	if err := ok.Post(context.Background(), []beacon.Record{rec("1.1.1.1", "wifi")}); err != nil {
+		t.Fatal(err)
+	}
+	// Stats stay open.
+	if _, err := noAuth.FetchStats(context.Background()); err != nil {
+		t.Errorf("stats require auth: %v", err)
+	}
+	if st := col.Stats(); st.Received != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	col := NewCollector()
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/beacons", "application/x-ndjson", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("empty batch returned %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,102 @@
+package world
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// Property: apportion conserves the total whenever any weight is positive,
+// and every share is non-negative.
+func TestApportionConservesTotalProperty(t *testing.T) {
+	f := func(totalRaw uint16, rawWeights []uint16) bool {
+		total := int(totalRaw % 10000)
+		weights := make([]float64, len(rawWeights))
+		anyPositive := false
+		for i, w := range rawWeights {
+			weights[i] = float64(w)
+			if w > 0 {
+				anyPositive = true
+			}
+		}
+		out := apportion(total, weights)
+		if len(out) != len(weights) {
+			return false
+		}
+		sum := 0
+		for i, v := range out {
+			if v < 0 {
+				return false
+			}
+			if weights[i] == 0 && v != 0 {
+				return false // zero weight must receive zero
+			}
+			sum += v
+		}
+		if !anyPositive || total <= 0 {
+			return sum == 0
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: apportion is monotone-ish — a strictly dominant weight never
+// receives fewer units than any other entry.
+func TestApportionDominanceProperty(t *testing.T) {
+	f := func(totalRaw uint16, a, b uint8) bool {
+		total := int(totalRaw%1000) + 1
+		wa, wb := float64(a)+1, float64(b)+1
+		out := apportion(total, []float64{wa, wb})
+		if wa > wb && out[0] < out[1] {
+			return false
+		}
+		if wb > wa && out[1] < out[0] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: operator shares sum to ~1 and respect overrides.
+func TestOperatorSharesProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := &generator{cfg: cfg, rng: rand.New(rand.NewPCG(123, 456))}
+	for _, cc := range []string{"US", "JP", "DE", "GH", "SB"} {
+		c, ok := cfg.Countries.Lookup(cc)
+		if !ok {
+			t.Fatalf("country %s missing", cc)
+		}
+		shares, mixed := g.operatorShares(c, c.CellASes)
+		if len(shares) != c.CellASes || len(mixed) != c.CellASes {
+			t.Fatalf("%s: lengths %d/%d", cc, len(shares), len(mixed))
+		}
+		sum := 0.0
+		for _, s := range shares {
+			if s < 0 {
+				t.Fatalf("%s: negative share", cc)
+			}
+			sum += s
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("%s: shares sum to %g", cc, sum)
+		}
+		for i, ov := range cfg.Overrides[cc] {
+			if i >= len(shares) {
+				break
+			}
+			if shares[i] != ov.Share || mixed[i] != ov.Mixed {
+				t.Errorf("%s: override %d not honoured", cc, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package world
+
+import (
+	"fmt"
+
+	"cellspot/internal/geo"
+)
+
+// Config parameterizes world generation.
+type Config struct {
+	// Seed drives every random choice; identical configs generate
+	// byte-identical worlds.
+	Seed uint64
+
+	// Scale is the fraction of paper-scale block counts to generate.
+	// 1.0 would produce the paper's ~4.8M active IPv4 /24 blocks; the
+	// default 0.01 produces ~48k. Counts scale linearly; all fractions
+	// and percentages are scale-free.
+	Scale float64
+
+	// Countries is the country database; nil selects geo.DefaultDB().
+	Countries *geo.DB
+
+	// ASTail is the number of small enterprise/content tail ASes at full
+	// scale (the paper observes 46,936 ASes in total); the generated
+	// count is ASTail scaled by sqrt(Scale) so tail ASes keep at least
+	// one block each at small scales.
+	ASTail int
+
+	// Noise-network counts (not scaled: AS-level results are absolute).
+	StrayASes int // tether-noise ASes killed by filter rule 1 (<0.1 DU)
+	IoTASes   int // beacon-poor cellular ASes killed by rule 2 (<300 hits)
+	ProxyASes int // proxy/cloud/VPN ASes killed by rule 3 (AS class)
+
+	// FWAFrac is the fraction of an operator's active cellular blocks
+	// serving LTE home broadband (high wifi-label rates, intermediate
+	// cellular ratios); FWADemandShare is the share of cellular demand
+	// those blocks carry.
+	FWAFrac        float64
+	FWADemandShare float64
+
+	// LowActivityMixed / LowActivityDedicated set how many low-activity
+	// (beacon-less) cellular blocks exist per active one, for mixed and
+	// dedicated operators respectively; LowActivityDemandShare is the
+	// share of operator cellular demand they carry.
+	LowActivityMixed       float64
+	LowActivityDedicated   float64
+	LowActivityDemandShare float64
+
+	// IdleDedicatedFrac is the fraction of a dedicated operator's total
+	// block inventory that is idle (zero demand, zero beacons) — Fig 6a
+	// shows ~40% of a large dedicated AS's /24s at ratio 0 with no demand.
+	IdleDedicatedFrac float64
+
+	// HeavyFrac and HeavyShare shape CGNAT concentration: the fraction of
+	// an operator's active (non-FWA) cellular blocks that are CGNAT
+	// egress heavy hitters, and the demand share they carry (paper: 24 of
+	// 514 blocks — 4.7% — carry 99.5%).
+	HeavyFrac  float64
+	HeavyShare float64
+
+	// V6DemandShare is the fraction of a v6-deploying operator's cellular
+	// demand carried over IPv6.
+	V6DemandShare float64
+
+	// BeaconlessDemandShare is the fraction of global demand originating
+	// from blocks with no browser traffic (API backends, set-top devices);
+	// the paper's BEACON dataset covers 92% of platform demand.
+	BeaconlessDemandShare float64
+
+	// Overrides pins per-country operator demand-share vectors (and mixed
+	// flags), used to reproduce the paper's top-10 AS table. Keyed by ISO
+	// country code; nil selects DefaultOverrides().
+	Overrides map[string][]OperatorOverride
+}
+
+// OperatorOverride pins one operator's share of its country's cellular
+// demand and whether it is mixed.
+type OperatorOverride struct {
+	Share float64
+	Mixed bool
+}
+
+// DefaultOverrides reproduces the paper's Table 7: three dominant dedicated
+// U.S. operators (9.4%, 9.2%, 5.7% of global cellular demand), one dominant
+// Indian and Indonesian operator, Japan's trio with two mixed entries, and
+// Australia's mixed leader.
+func DefaultOverrides() map[string][]OperatorOverride {
+	return map[string][]OperatorOverride{
+		"US": {{Share: 0.300, Mixed: false}, {Share: 0.295, Mixed: false}, {Share: 0.180, Mixed: false}, {Share: 0.120, Mixed: false}},
+		"JP": {{Share: 0.470, Mixed: false}, {Share: 0.350, Mixed: true}, {Share: 0.150, Mixed: true}},
+		"IN": {{Share: 0.600, Mixed: false}},
+		"ID": {{Share: 0.360, Mixed: false}},
+		"AU": {{Share: 0.570, Mixed: true}},
+	}
+}
+
+// DefaultConfig returns the configuration used throughout the reproduction.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                   1,
+		Scale:                  0.01,
+		ASTail:                 46936,
+		StrayASes:              493,
+		IoTASes:                53,
+		ProxyASes:              49,
+		FWAFrac:                0.12,
+		FWADemandShare:         0.30,
+		LowActivityMixed:       5.0,
+		LowActivityDedicated:   0.012,
+		LowActivityDemandShare: 0.18,
+		IdleDedicatedFrac:      0.40,
+		HeavyFrac:              0.048,
+		HeavyShare:             0.995,
+		V6DemandShare:          0.22,
+		BeaconlessDemandShare:  0.08,
+	}
+}
+
+// Validate checks config consistency and fills defaults.
+func (c *Config) Validate() error {
+	if c.Scale <= 0 || c.Scale > 1 {
+		return fmt.Errorf("world: Scale %g out of (0,1]", c.Scale)
+	}
+	if c.Countries == nil {
+		c.Countries = geo.DefaultDB()
+	}
+	if c.Overrides == nil {
+		c.Overrides = DefaultOverrides()
+	}
+	for _, frac := range []struct {
+		name string
+		v    float64
+	}{
+		{"FWAFrac", c.FWAFrac},
+		{"FWADemandShare", c.FWADemandShare},
+		{"LowActivityDemandShare", c.LowActivityDemandShare},
+		{"IdleDedicatedFrac", c.IdleDedicatedFrac},
+		{"HeavyFrac", c.HeavyFrac},
+		{"HeavyShare", c.HeavyShare},
+		{"V6DemandShare", c.V6DemandShare},
+		{"BeaconlessDemandShare", c.BeaconlessDemandShare},
+	} {
+		if frac.v < 0 || frac.v > 1 {
+			return fmt.Errorf("world: %s %g out of [0,1]", frac.name, frac.v)
+		}
+	}
+	if c.LowActivityMixed < 0 || c.LowActivityDedicated < 0 {
+		return fmt.Errorf("world: negative low-activity factor")
+	}
+	if c.ASTail < 0 || c.StrayASes < 0 || c.IoTASes < 0 || c.ProxyASes < 0 {
+		return fmt.Errorf("world: negative AS count")
+	}
+	for cc, ovs := range c.Overrides {
+		sum := 0.0
+		for _, ov := range ovs {
+			if ov.Share < 0 {
+				return fmt.Errorf("world: override %s: negative share", cc)
+			}
+			sum += ov.Share
+		}
+		if sum > 1+1e-9 {
+			return fmt.Errorf("world: override %s: shares sum to %g > 1", cc, sum)
+		}
+	}
+	return nil
+}
+
+// continentBlocks holds the paper-scale block census per continent:
+// detected (active) cellular /24s and /48s straight from Table 4, with the
+// total active counts derived from Table 4's "% Active" columns.
+var continentBlocks = map[geo.Continent]struct {
+	cell24   int
+	active24 int
+	cell48   int
+	active48 int
+}{
+	geo.Africa:       {cell24: 79091, active24: 148667, cell48: 28, active48: 1400},
+	geo.Asia:         {cell24: 86618, active24: 1519614, cell48: 4613, active48: 922600},
+	geo.Europe:       {cell24: 65442, active24: 1363375, cell48: 2117, active48: 705667},
+	geo.NorthAmerica: {cell24: 27595, active24: 1314048, cell48: 16166, active48: 163293},
+	geo.Oceania:      {cell24: 4352, active24: 80593, cell48: 35, active48: 50000},
+	geo.SouthAmerica: {cell24: 87589, active24: 387562, cell48: 271, active48: 30111},
+}
+
+// DemandOnlyExtra24 is the paper-scale count of IPv4 /24 blocks present in
+// DEMAND but absent from BEACON (6.8M vs 4.7M in Table 2, adjusted for the
+// BEACON set not being a strict subset).
+const DemandOnlyExtra24 = 2_100_000
