@@ -161,6 +161,32 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineParallel compares the serial oracle path against the
+// sharded path at every stage (world, BEACON, DEMAND, classify). Results
+// are bit-identical by construction — the equivalence suite in
+// internal/pipeline asserts it — so this measures pure scheduling cost.
+func BenchmarkPipelineParallel(b *testing.B) {
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"serial", 1},
+		{"gomaxprocs", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.World.Scale = 0.01
+			cfg.Parallelism = bc.parallelism
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // Ablation benches: the design choices DESIGN.md calls out.
 
 func benchGlobal(b *testing.B) *Result {

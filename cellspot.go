@@ -16,7 +16,9 @@ import (
 )
 
 // Config parameterizes a full pipeline run: world generation, BEACON and
-// DEMAND synthesis, the classifier threshold, and the AS-filter rules.
+// DEMAND synthesis, the classifier threshold, the AS-filter rules, and the
+// Parallelism knob (0 = GOMAXPROCS workers, 1 = serial; outputs are
+// bit-identical at every setting).
 type Config = pipeline.Config
 
 // Result carries everything a run produces: the generated world (ground

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-scale 0.01] [-seed 1] [-run T8,F12|all] [-o report.txt]
+//	experiments [-scale 0.01] [-seed 1] [-parallelism 0] [-run T8,F12|all] [-o report.txt]
 package main
 
 import (
@@ -26,11 +26,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "world seed")
 	run := flag.String("run", "all", "comma-separated experiment IDs (T1..T8, F1..F12) or 'all'")
 	outPath := flag.String("o", "", "write the report to this file instead of stdout")
+	parallelism := flag.Int("parallelism", 0, "pipeline worker count: 0 = GOMAXPROCS, 1 = serial; results are identical at every setting")
 	flag.Parse()
 
 	cfg := cellspot.DefaultConfig()
 	cfg.World.Scale = *scale
 	cfg.World.Seed = *seed
+	cfg.Parallelism = *parallelism
 
 	var w io.Writer = os.Stdout
 	if *outPath != "" {

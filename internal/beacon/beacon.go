@@ -20,6 +20,7 @@ import (
 
 	"cellspot/internal/netaddr"
 	"cellspot/internal/netinfo"
+	"cellspot/internal/par"
 	"cellspot/internal/traffic"
 	"cellspot/internal/world"
 )
@@ -136,6 +137,13 @@ type GenConfig struct {
 
 	// Month sets the collection month (API adoption level).
 	Month netinfo.Month
+
+	// Parallelism is the worker count for sharded hit synthesis:
+	// 0 = GOMAXPROCS, 1 = the serial oracle path. Aggregates are
+	// bit-identical at every setting: blocks are split into fixed-size
+	// contiguous shards, each drawing from its own seed-derived PCG
+	// stream, merged in shard order.
+	Parallelism int
 }
 
 // DefaultGenConfig mirrors the paper's December 2016 collection.
@@ -210,31 +218,62 @@ func plan(w *world.World, cfg GenConfig) []blockPlan {
 	return plans
 }
 
+// aggStream is the per-shard stream constant of the aggregate path; shard
+// s draws from PCG(cfg.Seed, aggStream^s).
+const aggStream = 0xbeac0_0001
+
+// genShardSize is the number of block plans per sampling shard. Shard
+// boundaries depend only on the plan list, never on the worker count, so
+// hit tallies are identical at every parallelism level.
+const genShardSize = 2048
+
+// tally is one shard-local sampled block outcome awaiting merge.
+type tally struct {
+	block           netaddr.Block
+	hits, api, cell int
+}
+
 // Generate draws the per-block BEACON aggregate for a world: the fast path
 // used by the pipeline. Hits, API-enabled hits, and cellular labels are
-// sampled per block without materializing records.
+// sampled per block without materializing records. Sampling shards across
+// cfg.Parallelism workers (0 = GOMAXPROCS, 1 = serial) with one PCG stream
+// per fixed-size shard; shard outputs merge in shard order, so the
+// aggregate is bit-identical at every parallelism level.
 func Generate(w *world.World, cfg GenConfig) (*Aggregate, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0xbeac0_0001))
-	agg := NewAggregate()
-	for _, p := range plan(w, cfg) {
-		hits := traffic.PoissonSmall(rng, p.meanHits)
-		var api int
-		if p.info.HitsOverride > 0 {
-			api = p.info.HitsOverride
-			if hits < api {
-				hits = api
+	plans := plan(w, cfg)
+	nShards := par.Shards(len(plans), genShardSize)
+	outs := make([][]tally, nShards)
+	par.Do(nShards, cfg.Parallelism, func(s int) {
+		rng := rand.New(rand.NewPCG(cfg.Seed, aggStream^uint64(s)))
+		lo, hi := par.Span(s, len(plans), genShardSize)
+		buf := make([]tally, 0, hi-lo)
+		for _, p := range plans[lo:hi] {
+			hits := traffic.PoissonSmall(rng, p.meanHits)
+			var api int
+			if p.info.HitsOverride > 0 {
+				api = p.info.HitsOverride
+				if hits < api {
+					hits = api
+				}
+			} else {
+				if hits == 0 {
+					continue
+				}
+				api = traffic.Binomial(rng, hits, p.apiProb)
 			}
-		} else {
-			if hits == 0 {
-				continue
-			}
-			api = traffic.Binomial(rng, hits, p.apiProb)
+			cell := traffic.Binomial(rng, api, p.info.CellLabelProb)
+			buf = append(buf, tally{block: p.info.Block, hits: hits, api: api, cell: cell})
 		}
-		cell := traffic.Binomial(rng, api, p.info.CellLabelProb)
-		agg.Add(p.info.Block, hits, api, cell)
+		outs[s] = buf
+	})
+	agg := NewAggregate()
+	for _, ts := range outs {
+		for _, t := range ts {
+			agg.Add(t.block, t.hits, t.api, t.cell)
+		}
 	}
 	return agg, nil
 }

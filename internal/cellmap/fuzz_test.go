@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"cellspot/internal/netaddr"
 )
 
 // FuzzRead checks that arbitrary bytes never panic the deserializer and
@@ -29,6 +31,50 @@ func FuzzRead(f *testing.F) {
 		}
 		if m2.Len() != m.Len() {
 			t.Fatalf("round trip changed entry count: %d vs %d", m.Len(), m2.Len())
+		}
+	})
+}
+
+// FuzzParseBlock exercises the prefix grammar the map artifact is written
+// in. Every constructible block must survive ParseBlock(b.String()) == b,
+// and arbitrary strings must either be rejected or parse to a block that
+// itself round-trips — malformed input never panics or produces a
+// non-canonical block.
+func FuzzParseBlock(f *testing.F) {
+	// IPv4 /24 and IPv6 /48 corpus entries, plus malformed shapes.
+	f.Add(false, uint64(0x0a0000), "10.0.0.0/24")
+	f.Add(false, uint64(0xffffff), "255.255.255.0/24")
+	f.Add(true, uint64(0x20010db80000), "2001:db8::/48")
+	f.Add(true, uint64(0), "::/48")
+	f.Add(false, uint64(0), "10.0.0.1/24")  // host bits set
+	f.Add(false, uint64(1), "10.0.0.0/16")  // wrong v4 length
+	f.Add(true, uint64(2), "2001:db8::/64") // wrong v6 length
+	f.Add(false, uint64(3), "10.0.0.0/240") // absurd length
+	f.Add(true, uint64(4), "not a prefix")  // garbage
+	f.Add(false, uint64(5), "10.0.0.0")     // missing length
+	f.Fuzz(func(t *testing.T, v6 bool, key uint64, raw string) {
+		// Block-first: any in-range key must round-trip exactly.
+		b := netaddr.Block{Fam: netaddr.IPv4, Key: key & 0xffffff}
+		if v6 {
+			b = netaddr.Block{Fam: netaddr.IPv6, Key: key & 0xffff_ffff_ffff}
+		}
+		got, err := netaddr.ParseBlock(b.String())
+		if err != nil {
+			t.Fatalf("own String %q rejected: %v", b.String(), err)
+		}
+		if got != b {
+			t.Fatalf("round trip %v: got %v", b, got)
+		}
+
+		// String-first: accepted inputs must be canonical; rejected ones
+		// must simply return an error (no panic).
+		p, err := netaddr.ParseBlock(raw)
+		if err != nil {
+			return
+		}
+		again, err := netaddr.ParseBlock(p.String())
+		if err != nil || again != p {
+			t.Fatalf("accepted %q -> %v but canonical re-parse gave %v (%v)", raw, p, again, err)
 		}
 	})
 }

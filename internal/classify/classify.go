@@ -12,6 +12,7 @@ import (
 
 	"cellspot/internal/beacon"
 	"cellspot/internal/netaddr"
+	"cellspot/internal/par"
 )
 
 // DefaultThreshold is the paper's operating point: a simple majority of
@@ -44,6 +45,50 @@ func (c Classifier) Classify(agg *beacon.Aggregate) netaddr.Set {
 			continue
 		}
 		if float64(counts.Cell)/float64(counts.API) >= c.threshold {
+			out.Add(b)
+		}
+	}
+	return out
+}
+
+// classifyShardSize is the number of blocks per classification shard.
+const classifyShardSize = 8192
+
+// ClassifyParallel returns exactly the set Classify returns, sharding
+// ratio evaluation across `parallelism` workers (0 = GOMAXPROCS,
+// 1 = serial). Classification draws no randomness, so the only merge
+// requirement is set union; the result is identical at every setting.
+func (c Classifier) ClassifyParallel(agg *beacon.Aggregate, parallelism int) netaddr.Set {
+	if par.Workers(parallelism) <= 1 {
+		return c.Classify(agg)
+	}
+	type entry struct {
+		block netaddr.Block
+		api   int
+		cell  int
+	}
+	entries := make([]entry, 0, len(agg.PerBlock))
+	for b, counts := range agg.PerBlock {
+		entries = append(entries, entry{block: b, api: counts.API, cell: counts.Cell})
+	}
+	nShards := par.Shards(len(entries), classifyShardSize)
+	locals := make([][]netaddr.Block, nShards)
+	par.Do(nShards, parallelism, func(s int) {
+		lo, hi := par.Span(s, len(entries), classifyShardSize)
+		var buf []netaddr.Block
+		for _, e := range entries[lo:hi] {
+			if e.api == 0 {
+				continue
+			}
+			if float64(e.cell)/float64(e.api) >= c.threshold {
+				buf = append(buf, e.block)
+			}
+		}
+		locals[s] = buf
+	})
+	out := make(netaddr.Set)
+	for _, blocks := range locals {
+		for _, b := range blocks {
 			out.Add(b)
 		}
 	}
@@ -101,13 +146,18 @@ func (m *Confusion) Add(truthCellular, detectedCellular bool, w float64) {
 // block to its weight — 1 for CIDR counts, its DU for demand weighting; a
 // nil weight means count mode.
 func Evaluate(detected netaddr.Set, truth map[netaddr.Block]bool, weight func(netaddr.Block) float64) Confusion {
+	blocks := make([]netaddr.Block, 0, len(truth))
+	for b := range truth {
+		blocks = append(blocks, b)
+	}
+	netaddr.SortBlocks(blocks) // reproducible weight accumulation order
 	var m Confusion
-	for b, isCell := range truth {
+	for _, b := range blocks {
 		w := 1.0
 		if weight != nil {
 			w = weight(b)
 		}
-		m.Add(isCell, detected.Has(b), w)
+		m.Add(truth[b], detected.Has(b), w)
 	}
 	return m
 }

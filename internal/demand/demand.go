@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"cellspot/internal/netaddr"
+	"cellspot/internal/par"
 	"cellspot/internal/traffic"
 	"cellspot/internal/world"
 )
@@ -121,6 +122,13 @@ type GenConfig struct {
 	Seed   uint64
 	Days   int     // collection window (paper: 7, Dec 24–31 2016)
 	Jitter float64 // per-day log-normal demand jitter
+
+	// Parallelism is the worker count for sharded jitter sampling:
+	// 0 = GOMAXPROCS, 1 = the serial oracle path. Outputs are
+	// bit-identical at every setting — demand-carrying blocks split into
+	// fixed-size contiguous shards, each on its own seed-derived PCG
+	// stream, merged in shard order.
+	Parallelism int
 }
 
 // DefaultGenConfig mirrors the paper's one-week window.
@@ -133,9 +141,23 @@ type Daily struct {
 	Days []map[netaddr.Block]float64
 }
 
+// Per-stage stream constants: dayStream drives the shared day factors,
+// jitterStream^shardIndex drives each shard's per-block noise.
+const (
+	dayStream    = 0xdeaa_0001
+	jitterStream = 0xdeaa_0100
+)
+
+// genShardSize is the number of demand-carrying blocks per jitter shard.
+// Boundaries depend only on the block list, never on the worker count.
+const genShardSize = 4096
+
 // GenerateDaily draws each day's raw per-block demand from the world:
 // block demand scaled by a shared day factor (weekends swell) and per-block
-// daily noise.
+// daily noise. Jitter sampling shards across cfg.Parallelism workers
+// (0 = GOMAXPROCS, 1 = serial) with one PCG stream per fixed-size shard;
+// shard outputs merge in shard order, so the result is bit-identical at
+// every parallelism level.
 func GenerateDaily(w *world.World, cfg GenConfig) (*Daily, error) {
 	if cfg.Days <= 0 {
 		return nil, fmt.Errorf("demand: Days must be positive")
@@ -143,22 +165,44 @@ func GenerateDaily(w *world.World, cfg GenConfig) (*Daily, error) {
 	if cfg.Jitter < 0 {
 		return nil, fmt.Errorf("demand: negative Jitter")
 	}
-	rng := rand.New(rand.NewPCG(cfg.Seed, 0xdeaa_0001))
+	rng := rand.New(rand.NewPCG(cfg.Seed, dayStream))
 	dayFactors := traffic.DailyFactors(rng, cfg.Days, 0.05)
+
+	blocks := make([]*world.BlockInfo, 0, len(w.Blocks))
+	for _, b := range w.Blocks {
+		if b.Demand > 0 {
+			blocks = append(blocks, b)
+		}
+	}
+	// Each shard emits its span's values block-major, day-minor.
+	nShards := par.Shards(len(blocks), genShardSize)
+	vals := make([][]float64, nShards)
+	par.Do(nShards, cfg.Parallelism, func(s int) {
+		rng := rand.New(rand.NewPCG(cfg.Seed, jitterStream^uint64(s)))
+		lo, hi := par.Span(s, len(blocks), genShardSize)
+		buf := make([]float64, 0, (hi-lo)*cfg.Days)
+		for _, b := range blocks[lo:hi] {
+			for d := 0; d < cfg.Days; d++ {
+				v := b.Demand * dayFactors[d]
+				if cfg.Jitter > 0 {
+					v *= traffic.LogNormal(rng, 0, cfg.Jitter)
+				}
+				buf = append(buf, v)
+			}
+		}
+		vals[s] = buf
+	})
+
 	out := &Daily{Days: make([]map[netaddr.Block]float64, cfg.Days)}
 	for d := range out.Days {
-		out.Days[d] = make(map[netaddr.Block]float64, len(w.Blocks))
+		out.Days[d] = make(map[netaddr.Block]float64, len(blocks))
 	}
-	for _, b := range w.Blocks {
-		if b.Demand <= 0 {
-			continue
-		}
-		for d := 0; d < cfg.Days; d++ {
-			v := b.Demand * dayFactors[d]
-			if cfg.Jitter > 0 {
-				v *= traffic.LogNormal(rng, 0, cfg.Jitter)
+	for s := 0; s < nShards; s++ {
+		lo, hi := par.Span(s, len(blocks), genShardSize)
+		for i, b := range blocks[lo:hi] {
+			for d := 0; d < cfg.Days; d++ {
+				out.Days[d][b.Block] = vals[s][i*cfg.Days+d]
 			}
-			out.Days[d][b.Block] = v
 		}
 	}
 	return out, nil

@@ -43,11 +43,23 @@ func (u Usage) CellFraction() float64 {
 	return u.CellDU / t
 }
 
+// sortedBlocks returns the affinity's client blocks in canonical order, so
+// the per-resolver floating-point sums below are reproducible run to run.
+func (a Affinity) sortedBlocks() []netaddr.Block {
+	blocks := make([]netaddr.Block, 0, len(a))
+	for b := range a {
+		blocks = append(blocks, b)
+	}
+	netaddr.SortBlocks(blocks)
+	return blocks
+}
+
 // ResolverUsage joins affinity, demand, and subnet labels into per-resolver
 // usage.
 func ResolverUsage(aff Affinity, ds *demand.Dataset, detected netaddr.Set) map[netip.Addr]*Usage {
 	out := make(map[netip.Addr]*Usage)
-	for block, assocs := range aff {
+	for _, block := range aff.sortedBlocks() {
+		assocs := aff[block]
 		du := ds.DU(block)
 		if du == 0 {
 			continue
@@ -126,11 +138,16 @@ func (p *PublicUsage) PublicShare() float64 {
 	if p.Total == 0 {
 		return 0
 	}
-	pub := 0.0
-	for prov, du := range p.ByProvider {
+	provs := make([]string, 0, len(p.ByProvider))
+	for prov := range p.ByProvider {
 		if prov != "" {
-			pub += du
+			provs = append(provs, prov)
 		}
+	}
+	sort.Strings(provs) // reproducible share accumulation order
+	pub := 0.0
+	for _, prov := range provs {
+		pub += p.ByProvider[prov]
 	}
 	return pub / p.Total
 }
@@ -156,7 +173,8 @@ func PublicDNSByAS(
 	providerOf func(netip.Addr) string,
 ) map[uint32]*PublicUsage {
 	out := make(map[uint32]*PublicUsage)
-	for block, assocs := range aff {
+	for _, block := range aff.sortedBlocks() {
+		assocs := aff[block]
 		if !detected.Has(block) {
 			continue // Fig 10 covers cellular client demand
 		}

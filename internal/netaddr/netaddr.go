@@ -13,6 +13,7 @@ package netaddr
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -43,6 +44,20 @@ func (f Family) String() string {
 type Block struct {
 	Fam Family
 	Key uint64
+}
+
+// Less orders blocks canonically: IPv4 before IPv6, then by key. The order
+// is used wherever floating-point sums must be reproducible run to run.
+func (b Block) Less(o Block) bool {
+	if b.Fam != o.Fam {
+		return b.Fam < o.Fam
+	}
+	return b.Key < o.Key
+}
+
+// SortBlocks sorts blocks in place into canonical order.
+func SortBlocks(blocks []Block) {
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Less(blocks[j]) })
 }
 
 // BlockFromAddr returns the enclosing /24 or /48 block of addr.

@@ -1,0 +1,90 @@
+// Package par provides the deterministic work-sharding primitives the
+// pipeline's parallel stages share: a resolver for the Parallelism knob
+// (0 = GOMAXPROCS, 1 = serial oracle) and an index-space runner whose
+// observable results are independent of worker count and scheduling.
+//
+// The contract every caller relies on: work is split into shards whose
+// boundaries depend only on the input (never on the worker count), each
+// shard derives its own RNG stream as PCG(seed, streamConst^shardIndex),
+// and shard outputs are merged in shard-index order. Under that contract
+// Do(n, 1, fn) and Do(n, k, fn) produce bit-identical results, so the
+// serial path doubles as the correctness oracle for the parallel one.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Parallelism knob into a concrete worker count:
+// 0 selects runtime.GOMAXPROCS(0), negative values clamp to 1 (serial),
+// and positive values are used as given.
+func Workers(parallelism int) int {
+	switch {
+	case parallelism == 0:
+		return runtime.GOMAXPROCS(0)
+	case parallelism < 1:
+		return 1
+	}
+	return parallelism
+}
+
+// Do runs fn(i) for every shard index i in [0, n) using at most `workers`
+// goroutines (after Workers resolution). workers <= 1 runs every shard
+// inline in index order — the serial oracle path. fn must not communicate
+// across shards; each invocation writes only shard-local state (typically
+// results[i]), which the caller merges in index order afterwards.
+func Do(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Shards returns the number of fixed-size shards covering n items. Shard s
+// spans [s*size, min((s+1)*size, n)): boundaries depend only on n and size,
+// never on the worker count, which is what keeps shard RNG streams stable
+// across parallelism levels.
+func Shards(n, size int) int {
+	if n <= 0 || size <= 0 {
+		return 0
+	}
+	return (n + size - 1) / size
+}
+
+// Span returns shard s's half-open item range [lo, hi) for n items split
+// into fixed-size shards.
+func Span(s, n, size int) (lo, hi int) {
+	lo = s * size
+	hi = lo + size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

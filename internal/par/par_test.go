@@ -1,0 +1,102 @@
+package par
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != 1 {
+		t.Errorf("Workers(-3) = %d, want 1", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d, want 7", got)
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 237
+		var counts [n]atomic.Int32
+		Do(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoSerialRunsInOrder(t *testing.T) {
+	var order []int
+	Do(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestDoEmptyAndNegative(t *testing.T) {
+	ran := false
+	Do(0, 4, func(int) { ran = true })
+	Do(-5, 4, func(int) { ran = true })
+	if ran {
+		t.Error("fn ran for empty index space")
+	}
+}
+
+// TestDoShardDeterminism is the package-level statement of the pipeline's
+// core contract: per-shard PCG streams merged in shard order give identical
+// results at any worker count.
+func TestDoShardDeterminism(t *testing.T) {
+	run := func(workers int) []uint64 {
+		const n, size = 1000, 64
+		nShards := Shards(n, size)
+		out := make([]uint64, n)
+		Do(nShards, workers, func(s int) {
+			rng := rand.New(rand.NewPCG(42, 0xabcd^uint64(s)))
+			lo, hi := Span(s, n, size)
+			for i := lo; i < hi; i++ {
+				out[i] = rng.Uint64()
+			}
+		})
+		return out
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 16} {
+		got := run(workers)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: diverged at index %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestShardsAndSpan(t *testing.T) {
+	if Shards(0, 10) != 0 || Shards(10, 0) != 0 {
+		t.Error("degenerate shard counts not zero")
+	}
+	if got := Shards(100, 32); got != 4 {
+		t.Errorf("Shards(100,32) = %d, want 4", got)
+	}
+	lo, hi := Span(3, 100, 32)
+	if lo != 96 || hi != 100 {
+		t.Errorf("Span(3,100,32) = [%d,%d), want [96,100)", lo, hi)
+	}
+	// Spans tile the index space exactly.
+	covered := 0
+	for s := 0; s < Shards(100, 32); s++ {
+		l, h := Span(s, 100, 32)
+		covered += h - l
+	}
+	if covered != 100 {
+		t.Errorf("spans cover %d of 100", covered)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"cellspot/internal/aschar"
 	"cellspot/internal/geo"
@@ -24,9 +25,12 @@ type Output struct {
 }
 
 // Env lazily materializes the two pipeline runs experiments draw on: the
-// global world and the paper-scale three-carrier case study.
+// global world and the paper-scale three-carrier case study. Lazy
+// materialization is mutex-guarded, so an Env may be shared by concurrent
+// experiment runners (parallel benchmarks, the race-detector CI).
 type Env struct {
 	Cfg       Config
+	mu        sync.Mutex
 	global    *Result
 	caseStudy *Result
 }
@@ -36,6 +40,8 @@ func NewEnv(cfg Config) *Env { return &Env{Cfg: cfg} }
 
 // Global returns the global-world pipeline run, computing it on first use.
 func (e *Env) Global() (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.global == nil {
 		r, err := Run(e.Cfg)
 		if err != nil {
@@ -48,6 +54,8 @@ func (e *Env) Global() (*Result, error) {
 
 // Case returns the case-study pipeline run, computing it on first use.
 func (e *Env) Case() (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.caseStudy == nil {
 		r, err := RunCaseStudy(e.Cfg)
 		if err != nil {

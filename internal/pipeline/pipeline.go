@@ -27,6 +27,15 @@ type Config struct {
 	Threshold float64 // classifier threshold (paper: 0.5)
 	MinCellDU float64 // AS filter rule 1 (paper: 0.1 DU)
 	MinHits   int     // AS filter rule 2 (paper: 300 responses)
+
+	// Parallelism is the worker count for the sharded hot stages (world
+	// generation, BEACON synthesis, DEMAND jitter, classification):
+	// 0 = GOMAXPROCS, 1 = the serial oracle path. Run and RunOnWorld copy
+	// it into the stage configs, overriding their own Parallelism fields.
+	// Results are bit-identical at every setting — each shard draws from
+	// its own PCG(seed, streamConst^shardIndex) stream and shard outputs
+	// merge in shard order.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper-parameter run at the default world scale.
@@ -100,6 +109,7 @@ func (r *Result) ResolverAS(addr netip.Addr) (uint32, bool) {
 
 // Run executes the full pipeline on a freshly generated global world.
 func Run(cfg Config) (*Result, error) {
+	cfg.World.Parallelism = cfg.Parallelism
 	w, err := world.Generate(cfg.World)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: world: %w", err)
@@ -119,6 +129,8 @@ func RunCaseStudy(cfg Config) (*Result, error) {
 
 // RunOnWorld executes the measurement pipeline against an existing world.
 func RunOnWorld(w *world.World, cfg Config) (*Result, error) {
+	cfg.Beacon.Parallelism = cfg.Parallelism
+	cfg.Demand.Parallelism = cfg.Parallelism
 	r := &Result{Config: cfg, World: w}
 
 	agg, err := beacon.Generate(w, cfg.Beacon)
@@ -152,7 +164,7 @@ func (r *Result) Classify(threshold float64) error {
 	if err != nil {
 		return fmt.Errorf("pipeline: %w", err)
 	}
-	r.Detected = cls.Classify(r.Beacon)
+	r.Detected = cls.ClassifyParallel(r.Beacon, r.Config.Parallelism)
 	return nil
 }
 

@@ -134,9 +134,9 @@ func GenerateCaseStudy(cs CaseStudyConfig) (*World, error) {
 	}
 	g.genBeaconless(filler, 100000-used, 2000)
 
-	reg, err := asn.NewRegistry(g.ases)
+	reg, err := g.registry()
 	if err != nil {
-		return nil, fmt.Errorf("world: %w", err)
+		return nil, err
 	}
 	g.w.Registry = reg
 	g.w.Snapshot = asn.BuildSnapshot(reg)

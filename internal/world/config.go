@@ -72,6 +72,13 @@ type Config struct {
 	// flags), used to reproduce the paper's top-10 AS table. Keyed by ISO
 	// country code; nil selects DefaultOverrides().
 	Overrides map[string][]OperatorOverride
+
+	// Parallelism is the worker count for sharded country generation:
+	// 0 selects runtime.GOMAXPROCS, 1 runs the serial oracle path, and
+	// negative values clamp to serial. Generated worlds are bit-identical
+	// at every setting — each country draws from its own seed-derived PCG
+	// stream and fragments merge in country order.
+	Parallelism int
 }
 
 // OperatorOverride pins one operator's share of its country's cellular

@@ -10,10 +10,22 @@ import (
 	"cellspot/internal/geo"
 	"cellspot/internal/netaddr"
 	"cellspot/internal/netinfo"
+	"cellspot/internal/par"
 	"cellspot/internal/traffic"
 )
 
-// generator carries allocation state during world construction.
+// Per-stage RNG stream constants. Every shard of world generation derives
+// its stream as PCG(cfg.Seed, streamConst^shardIndex), so shard outputs are
+// functions of (seed, shard) alone — never of scheduling or worker count.
+const (
+	countryStream = 0x9e3779b97f4a7c15 // one shard per country
+	noiseStream   = 0x6e015e_0001      // serial noise-AS stage
+)
+
+// generator carries allocation state during world construction. A
+// generator is either the merged global one or a per-country fragment;
+// fragments allocate ASNs and block keys from their own local sequences,
+// which absorb renumbers into the global sequence at merge time.
 type generator struct {
 	cfg Config
 	rng *rand.Rand
@@ -23,21 +35,40 @@ type generator struct {
 	next24  uint64 // next /24 key to hand out
 	next48  uint64 // next /48 key to hand out
 
-	ases   []asn.AS
+	ases   []*asn.AS
 	duUnit float64 // demand units per Demand Unit (1 DU = 0.001% of global)
 }
 
-// Generate builds the global synthetic world.
+// Generate builds the global synthetic world. Country generation shards
+// across cfg.Parallelism workers (0 = GOMAXPROCS, 1 = serial): each country
+// draws from its own PCG stream and fragments merge in country order, so
+// the world is bit-identical at every parallelism level.
 func Generate(cfg Config) (*World, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	duUnit := cfg.Countries.TotalDemandShare() / 100000
+	budgets := (&generator{cfg: cfg}).countryBudgets()
+
+	// Shard 1: one fragment per country, each on an independent stream
+	// with local ASN/address sequences.
+	countries := cfg.Countries.All()
+	frags := make([]*generator, len(countries))
+	par.Do(len(countries), cfg.Parallelism, func(i int) {
+		f := newFragment(cfg, rand.New(rand.NewPCG(cfg.Seed, countryStream^uint64(i))), duUnit)
+		f.genCountry(countries[i], budgets[countries[i].Code])
+		frags[i] = f
+	})
+
+	// Merge in country order, then run the serial tail stages (noise ASes,
+	// resolvers, carrier selection) on their own streams.
 	g := &generator{
 		cfg:     cfg,
-		rng:     rand.New(rand.NewPCG(cfg.Seed, 0x9e3779b97f4a7c15)),
+		rng:     rand.New(rand.NewPCG(cfg.Seed, noiseStream)),
 		nextASN: 1000,
 		next24:  uint64(1) << 16, // start at 1.0.0.0/24
 		next48:  0x2001_0000_0000,
+		duUnit:  duUnit,
 		w: &World{
 			Config:     cfg,
 			Countries:  cfg.Countries,
@@ -45,18 +76,15 @@ func Generate(cfg Config) (*World, error) {
 			Affinity:   make(map[netaddr.Block][]ResolverWeight),
 		},
 	}
-	g.duUnit = cfg.Countries.TotalDemandShare() / 100000
-
-	budgets := g.countryBudgets()
-	for _, c := range cfg.Countries.All() {
-		g.genCountry(c, budgets[c.Code])
+	for _, f := range frags {
+		g.absorb(f)
 	}
 	g.genNoiseASes()
 	g.genResolvers()
 
-	reg, err := asn.NewRegistry(g.ases)
+	reg, err := g.registry()
 	if err != nil {
-		return nil, fmt.Errorf("world: %w", err)
+		return nil, err
 	}
 	g.w.Registry = reg
 	// CAIDA-style coverage of access networks is effectively complete; the
@@ -71,6 +99,62 @@ func Generate(cfg Config) (*World, error) {
 	}
 	g.w.TotalDemand = total
 	return g.w, nil
+}
+
+// newFragment returns a per-country generator with local ASN and address
+// sequences. Fragment keys and ASNs are placeholders: absorb rewrites them
+// into the global sequences, so only their allocation order matters.
+func newFragment(cfg Config, rng *rand.Rand, duUnit float64) *generator {
+	return &generator{
+		cfg:     cfg,
+		rng:     rng,
+		nextASN: 1,
+		next24:  uint64(1) << 16,
+		next48:  0x2001_0000_0000,
+		duUnit:  duUnit,
+		w:       &World{Config: cfg, Countries: cfg.Countries},
+	}
+}
+
+// absorb renumbers a fragment's ASes and blocks into the global sequences
+// and appends its operators and blocks in fragment order. Because fragments
+// are absorbed in country order and each fragment's internal order is
+// deterministic, the merged world is independent of how (or whether) the
+// fragments ran concurrently.
+func (g *generator) absorb(f *generator) {
+	asnMap := make(map[uint32]uint32, len(f.ases))
+	for _, a := range f.ases {
+		old := a.Number
+		a.Number = g.nextASN
+		g.nextASN++
+		asnMap[old] = a.Number
+		g.ases = append(g.ases, a)
+	}
+	for _, bi := range f.w.Blocks {
+		if bi.Block.Fam == netaddr.IPv6 {
+			bi.Block = g.next48Block()
+		} else {
+			bi.Block = g.next24Block()
+		}
+		bi.ASN = asnMap[bi.ASN]
+		g.w.Blocks = append(g.w.Blocks, bi)
+		g.w.BlockIndex[bi.Block] = bi
+	}
+	g.w.Operators = append(g.w.Operators, f.w.Operators...)
+	g.w.CellOperators = append(g.w.CellOperators, f.w.CellOperators...)
+}
+
+// registry builds the AS registry from the minted AS set.
+func (g *generator) registry() (*asn.Registry, error) {
+	vals := make([]asn.AS, len(g.ases))
+	for i, a := range g.ases {
+		vals[i] = *a
+	}
+	reg, err := asn.NewRegistry(vals)
+	if err != nil {
+		return nil, fmt.Errorf("world: %w", err)
+	}
+	return reg, nil
 }
 
 // blockBudget is the per-country block allocation.
@@ -175,10 +259,9 @@ func (g *generator) countryBudgets() map[string]blockBudget {
 	return out
 }
 
-// alloc24 hands out n consecutive-ish /24 blocks, skipping reserved space.
-func (g *generator) alloc24(n int) []netaddr.Block {
-	out := make([]netaddr.Block, 0, n)
-	for len(out) < n {
+// next24Block hands out the next /24 block, skipping reserved space.
+func (g *generator) next24Block() netaddr.Block {
+	for {
 		key := g.next24
 		g.next24++
 		first := byte(key >> 16)
@@ -191,24 +274,40 @@ func (g *generator) alloc24(n int) []netaddr.Block {
 			g.next24 = (uint64(first) + 1) << 16
 			continue
 		}
-		out = append(out, netaddr.Block{Fam: netaddr.IPv4, Key: key})
+		return netaddr.Block{Fam: netaddr.IPv4, Key: key}
+	}
+}
+
+// alloc24 hands out n consecutive-ish /24 blocks, skipping reserved space.
+func (g *generator) alloc24(n int) []netaddr.Block {
+	out := make([]netaddr.Block, 0, n)
+	for len(out) < n {
+		out = append(out, g.next24Block())
 	}
 	return out
+}
+
+// next48Block hands out the next /48 block under 2001::/16.
+func (g *generator) next48Block() netaddr.Block {
+	b := netaddr.Block{Fam: netaddr.IPv6, Key: g.next48}
+	g.next48++
+	return b
 }
 
 // alloc48 hands out n consecutive /48 blocks under 2001::/16.
 func (g *generator) alloc48(n int) []netaddr.Block {
 	out := make([]netaddr.Block, 0, n)
 	for len(out) < n {
-		out = append(out, netaddr.Block{Fam: netaddr.IPv6, Key: g.next48})
-		g.next48++
+		out = append(out, g.next48Block())
 	}
 	return out
 }
 
-// newAS mints an AS and records it for the registry.
+// newAS mints an AS and records it for the registry. The returned pointer
+// is stable: operators keep it across fragment renumbering, so rewriting
+// a.Number in absorb is visible everywhere the AS is referenced.
 func (g *generator) newAS(name, cc string, role asn.Role) *asn.AS {
-	a := asn.AS{
+	a := &asn.AS{
 		Number:  g.nextASN,
 		Name:    name,
 		Country: cc,
@@ -217,7 +316,7 @@ func (g *generator) newAS(name, cc string, role asn.Role) *asn.AS {
 	}
 	g.nextASN++
 	g.ases = append(g.ases, a)
-	return &g.ases[len(g.ases)-1]
+	return a
 }
 
 // addBlock registers a block with the world and its operator.
@@ -226,7 +325,11 @@ func (g *generator) addBlock(op *Operator, b BlockInfo) *BlockInfo {
 	bi.ASN = op.AS.Number
 	op.Blocks = append(op.Blocks, bi)
 	g.w.Blocks = append(g.w.Blocks, bi)
-	g.w.BlockIndex[bi.Block] = bi
+	if g.w.BlockIndex != nil {
+		// Fragments carry no index: their placeholder keys are renumbered
+		// at merge time, where the global index is built instead.
+		g.w.BlockIndex[bi.Block] = bi
+	}
 	if bi.Cellular {
 		op.CellDemand += bi.Demand
 	} else {
