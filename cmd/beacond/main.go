@@ -1,11 +1,12 @@
 // Command beacond runs the RUM beacon collector: the HTTP endpoint behind
 // the paper's BEACON dataset. It accepts NDJSON beacon batches on
 // POST /v1/beacons, aggregates them per /24 and /48 block, optionally
-// spools raw records to disk, and reports counters on GET /v1/stats.
+// spools raw records to disk, reports counters on GET /v1/stats, and
+// serves Prometheus metrics on GET /metrics.
 //
 // Usage:
 //
-//	beacond [-addr :8780] [-spool DIR] [-gzip]
+//	beacond [-addr :8780] [-spool DIR] [-gzip] [-spool-max-records N]
 package main
 
 import (
@@ -20,39 +21,63 @@ import (
 	"time"
 
 	"cellspot/internal/logio"
+	"cellspot/internal/obs"
+	"cellspot/internal/obs/httpmw"
 	"cellspot/internal/rum"
 )
 
 func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("beacond: ")
+	os.Exit(run())
+}
 
+// run carries the daemon lifecycle and returns the process exit code, so
+// deferred cleanup still executes on failure paths (log.Fatalf and
+// os.Exit both skip defers).
+func run() int {
 	addr := flag.String("addr", ":8780", "listen address")
 	spoolDir := flag.String("spool", "", "spool raw records to this directory")
 	gzipped := flag.Bool("gzip", false, "gzip spool files")
+	spoolMax := flag.Int("spool-max-records", 500_000, "records per spool file before rotating")
 	token := flag.String("token", "", "require this bearer token on beacon posts")
 	flag.Parse()
 
-	var opts []rum.Option
-	var spool *logio.Spool
+	if *spoolMax <= 0 {
+		log.Printf("-spool-max-records must be > 0, got %d", *spoolMax)
+		return 2
+	}
+
+	reg := obs.NewRegistry()
+	opts := []rum.Option{rum.WithMetrics(reg)}
 	if *spoolDir != "" {
-		spool = logio.NewSpool(*spoolDir, "beacon", *gzipped, 500_000)
-		opts = append(opts, rum.WithSpool(spool))
+		opts = append(opts, rum.WithSpool(logio.NewSpool(*spoolDir, "beacon", *gzipped, *spoolMax)))
 	}
 	if *token != "" {
 		opts = append(opts, rum.WithAuthToken(*token))
 	}
 	col := rum.NewCollector(opts...)
 
+	mux := httpmw.NewMux(reg)
+	col.MountRoutes(mux)
+	mux.Handle("GET /metrics", reg.Handler())
+
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           col.Handler(),
+		Addr:    *addr,
+		Handler: mux,
+		// A slow or stuck client must not pin a handler goroutine forever:
+		// bound the header, the whole read (16 MiB batches from slow
+		// edges), the response write, and keep-alive idle time.
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	exit := 0
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s", *addr)
@@ -66,15 +91,21 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			log.Printf("shutdown: %v", err)
+			exit = 1
 		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			log.Print(err)
+			exit = 1
 		}
 	}
+	// A spool-close failure must not suppress the final stats line: log
+	// it, still emit the summary, and report the failure in the exit code.
 	if err := col.Close(); err != nil {
-		log.Fatalf("closing spool: %v", err)
+		log.Printf("closing spool: %v", err)
+		exit = 1
 	}
 	st := col.Stats()
 	log.Printf("received %d records (%d rejected) across %d blocks", st.Received, st.Rejected, st.Blocks)
+	return exit
 }

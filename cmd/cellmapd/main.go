@@ -5,6 +5,7 @@
 //
 //	GET /v1/lookup?ip=1.2.3.4
 //	GET /v1/info
+//	GET /metrics
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 	"time"
 
 	"cellspot/internal/cellmap"
+	"cellspot/internal/obs"
+	"cellspot/internal/obs/httpmw"
 )
 
 func main() {
@@ -40,10 +43,21 @@ func main() {
 	}
 	log.Printf("loaded %s: %d prefixes, period %s", *mapPath, m.Len(), m.Period)
 
+	reg := obs.NewRegistry()
+	reg.Gauge("cellmap_entries", "Prefixes in the served map.").Set(int64(m.Len()))
+	mux := httpmw.NewMux(reg)
+	cellmap.MountRoutes(mux, m)
+	mux.Handle("GET /metrics", reg.Handler())
+
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           cellmap.Handler(m),
+		Addr:    *addr,
+		Handler: mux,
+		// Lookups are tiny; a slow or stuck client must not pin a handler
+		// goroutine forever.
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

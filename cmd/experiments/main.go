@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-scale 0.01] [-seed 1] [-parallelism 0] [-run T8,F12|all] [-o report.txt]
+//	experiments [-scale 0.01] [-seed 1] [-parallelism 0] [-run T8,F12|all] [-o report.txt] [-metrics metrics.prom]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"cellspot"
+	"cellspot/internal/obs"
 )
 
 func main() {
@@ -27,12 +28,31 @@ func main() {
 	run := flag.String("run", "all", "comma-separated experiment IDs (T1..T8, F1..F12) or 'all'")
 	outPath := flag.String("o", "", "write the report to this file instead of stdout")
 	parallelism := flag.Int("parallelism", 0, "pipeline worker count: 0 = GOMAXPROCS, 1 = serial; results are identical at every setting")
+	metricsPath := flag.String("metrics", "", "write per-stage pipeline metrics (Prometheus text format) to this file")
 	flag.Parse()
 
 	cfg := cellspot.DefaultConfig()
 	cfg.World.Scale = *scale
 	cfg.World.Seed = *seed
 	cfg.Parallelism = *parallelism
+
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+		defer func() {
+			f, err := os.Create(*metricsPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := reg.WriteText(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	var w io.Writer = os.Stdout
 	if *outPath != "" {

@@ -17,6 +17,12 @@ type LookupResponse struct {
 	DU       float64 `json:"du,omitempty"`
 }
 
+// ErrorResponse is the JSON body of every non-2xx answer: clients of a
+// JSON API get JSON on the error path too, with the same Content-Type.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
 // Info summarizes a served map.
 type Info struct {
 	Format    string  `json:"format"`
@@ -26,25 +32,30 @@ type Info struct {
 	TotalDU   float64 `json:"total_du"`
 }
 
-// Handler serves a cellular map over HTTP — the lookup microservice a CDN
-// would put in front of the published dataset:
+// Router is the route-registration surface MountRoutes needs; both
+// *http.ServeMux and the instrumented httpmw.Mux satisfy it.
+type Router interface {
+	HandleFunc(pattern string, handler func(http.ResponseWriter, *http.Request))
+}
+
+// MountRoutes registers the lookup service's routes on r — the lookup
+// microservice a CDN would put in front of the published dataset:
 //
 //	GET /v1/lookup?ip=ADDR — per-address cellular lookup
 //	GET /v1/info           — dataset metadata
 //
-// The map is immutable once built, so the handler is safe for concurrent
+// The map is immutable once built, so the handlers are safe for concurrent
 // use.
-func Handler(m *Map) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/lookup", func(w http.ResponseWriter, r *http.Request) {
+func MountRoutes(r Router, m *Map) {
+	r.HandleFunc("GET /v1/lookup", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("ip")
 		if q == "" {
-			http.Error(w, "missing ip parameter", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "missing ip parameter")
 			return
 		}
 		addr, err := netip.ParseAddr(q)
 		if err != nil {
-			http.Error(w, "bad ip: "+err.Error(), http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad ip: "+err.Error())
 			return
 		}
 		resp := LookupResponse{Addr: addr.String()}
@@ -58,7 +69,7 @@ func Handler(m *Map) http.Handler {
 		}
 		writeJSON(w, resp)
 	})
-	mux.HandleFunc("GET /v1/info", func(w http.ResponseWriter, _ *http.Request) {
+	r.HandleFunc("GET /v1/info", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, Info{
 			Format:    formatName,
 			Period:    m.Period,
@@ -67,12 +78,30 @@ func Handler(m *Map) http.Handler {
 			TotalDU:   m.TotalDU(),
 		})
 	})
+}
+
+// Handler serves a cellular map on a plain mux; see MountRoutes.
+func Handler(m *Map) http.Handler {
+	mux := http.NewServeMux()
+	MountRoutes(mux, m)
 	return mux
 }
 
+// writeJSON marshals v before touching the ResponseWriter, so an encoding
+// failure can still produce a well-formed 500 instead of a half-written
+// 200.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding response: "+err.Error())
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(ErrorResponse{Error: msg})
 }

@@ -58,10 +58,21 @@ func TestHandlerLookupErrors(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("lookup%s returned %d", q, resp.StatusCode)
 		}
+		// Error answers are JSON with the right Content-Type, like the
+		// success path — clients of a JSON API must never see text/plain.
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("lookup%s error Content-Type = %q", q, ct)
+		}
+		var e ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Errorf("lookup%s error body is not JSON: %v", q, err)
+		} else if e.Error == "" {
+			t.Errorf("lookup%s error body has empty message", q)
+		}
+		resp.Body.Close()
 	}
 	// POST is rejected by the method-scoped route.
 	resp, err := http.Post(srv.URL+"/v1/lookup?ip=10.0.0.1", "text/plain", nil)
@@ -71,6 +82,27 @@ func TestHandlerLookupErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode == http.StatusOK {
 		t.Error("POST accepted")
+	}
+}
+
+// TestWriteJSONEncodeFailure drives the 500 path: an unmarshalable value
+// must yield a JSON error body with the JSON Content-Type, not a
+// half-written 200 or a text/plain fallback.
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, make(chan int))
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(rec.Body).Decode(&e); err != nil {
+		t.Fatalf("500 body is not JSON: %v", err)
+	}
+	if e.Error == "" {
+		t.Error("500 body has empty message")
 	}
 }
 

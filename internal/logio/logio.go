@@ -95,6 +95,12 @@ func (w *FileWriter) Close() error {
 	return errors.Join(errs...)
 }
 
+// maxLineBytes bounds one JSONL line. A longer line aborts the scan with
+// bufio.ErrTooLong in strict AND lenient modes: the scanner cannot
+// re-synchronize past a token it cannot buffer, so the failure is not a
+// skippable line.
+const maxLineBytes = 16 << 20
+
 // ReadStats reports what a lenient read encountered.
 type ReadStats struct {
 	Records int // successfully decoded records
@@ -108,7 +114,7 @@ type ReadStats struct {
 func Decode[T any](r io.Reader, lenient bool, fn func(T) error) (ReadStats, error) {
 	var st ReadStats
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	sc.Buffer(make([]byte, 0, 64<<10), maxLineBytes)
 	line := 0
 	for sc.Scan() {
 		line++

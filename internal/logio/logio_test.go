@@ -1,6 +1,7 @@
 package logio
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"os"
@@ -215,6 +216,31 @@ func TestSpoolFilesIgnoresForeign(t *testing.T) {
 func TestSpoolFilesMissingDir(t *testing.T) {
 	if _, err := SpoolFiles("/nonexistent/spool", "x"); err == nil {
 		t.Error("missing dir accepted")
+	}
+}
+
+// TestDecodeOversizeLine drives the scanner's buffer limit: a line beyond
+// the 16 MiB cap must surface bufio.ErrTooLong in BOTH modes — lenient
+// mode may skip malformed lines, but a line the scanner cannot even
+// tokenize is not skippable, exactly like gzip-layer corruption.
+func TestDecodeOversizeLine(t *testing.T) {
+	oversize := `{"name":"` + strings.Repeat("a", maxLineBytes) + `"}`
+	for _, lenient := range []bool{false, true} {
+		in := strings.NewReader(`{"id":1}` + "\n" + oversize + "\n" + `{"id":2}` + "\n")
+		st, err := Decode(in, lenient, func(rec) error { return nil })
+		if err == nil {
+			t.Fatalf("lenient=%v: oversize line decoded without error", lenient)
+		}
+		if !errors.Is(err, bufio.ErrTooLong) {
+			t.Errorf("lenient=%v: err = %v, want bufio.ErrTooLong", lenient, err)
+		}
+		if !strings.Contains(err.Error(), "scan") {
+			t.Errorf("lenient=%v: error does not name the scan layer: %v", lenient, err)
+		}
+		// Records before the oversize line were already delivered.
+		if st.Records != 1 || st.Bad != 0 {
+			t.Errorf("lenient=%v: stats = %+v, want 1 record, 0 bad", lenient, st)
+		}
 	}
 }
 

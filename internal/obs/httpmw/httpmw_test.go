@@ -1,0 +1,87 @@
+package httpmw
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cellspot/internal/obs"
+)
+
+func TestWrapRecordsRoute(t *testing.T) {
+	reg := obs.NewRegistry()
+	mux := NewMux(reg)
+	mux.HandleFunc("GET /ok", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok")) // implicit 200
+	})
+	mux.HandleFunc("GET /fail", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "nope", http.StatusBadRequest)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/ok")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Re-requesting the same metric names yields the mounted instances.
+	ok2xx := reg.Counter("http_requests_total", "", obs.L("route", "GET /ok"), obs.L("class", "2xx"))
+	fail4xx := reg.Counter("http_requests_total", "", obs.L("route", "GET /fail"), obs.L("class", "4xx"))
+	if ok2xx.Value() != 3 {
+		t.Errorf("2xx count = %d, want 3", ok2xx.Value())
+	}
+	if fail4xx.Value() != 1 {
+		t.Errorf("4xx count = %d, want 1", fail4xx.Value())
+	}
+	inflight := reg.Gauge("http_inflight_requests", "", obs.L("route", "GET /ok"))
+	if inflight.Value() != 0 {
+		t.Errorf("in-flight after completion = %d", inflight.Value())
+	}
+	lat := reg.Histogram("http_request_seconds", "", obs.DefBuckets, obs.L("route", "GET /ok"))
+	if lat.Count() != 3 {
+		t.Errorf("latency observations = %d, want 3", lat.Count())
+	}
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `http_requests_total{class="2xx",route="GET /ok"} 3`) {
+		t.Errorf("exposition missing labeled counter:\n%s", b.String())
+	}
+}
+
+func TestWrapNilRegistry(t *testing.T) {
+	h := Wrap(nil, "GET /x", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if rec.Code != http.StatusNoContent {
+		t.Errorf("status = %d", rec.Code)
+	}
+}
+
+func TestStatusWriterFirstCodeWins(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := Wrap(reg, "GET /x", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.WriteHeader(http.StatusOK) // ignored by net/http; must be ignored by accounting too
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	c5xx := reg.Counter("http_requests_total", "", obs.L("route", "GET /x"), obs.L("class", "5xx"))
+	if c5xx.Value() != 1 {
+		t.Errorf("5xx count = %d, want 1", c5xx.Value())
+	}
+}

@@ -1,0 +1,400 @@
+// Package obs is the observability layer for the serving path: lock-free
+// atomic counters, gauges, and fixed-bucket latency histograms behind a
+// named registry, exposed in Prometheus text format. One registry snapshot
+// answers "what is this process doing right now" for the collection and
+// lookup daemons and for batch pipeline runs alike.
+//
+// Design constraints, in order:
+//
+//   - The increment path allocates nothing and takes no locks: counters and
+//     gauges are single atomics, histograms are an atomic per bucket plus a
+//     CAS loop for the float sum.
+//   - Every metric type is nil-safe: methods on a nil *Counter, *Gauge, or
+//     *Histogram are no-ops, and constructors on a nil *Registry return
+//     nil. Instrumented code therefore never branches on "metrics enabled".
+//   - Registration is get-or-create keyed by name+labels, so wiring code
+//     can re-request a metric idempotently; conflicting re-registration
+//     (same family, different type) panics at wire-up time.
+//   - Recording is observation-only: nothing in this package feeds back
+//     into the code it measures, so deterministic pipelines stay
+//     bit-identical with metrics enabled.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Counters only go up; instrument deltas, not levels.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down (in-flight requests, spool
+// shard number, loaded entries).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DefBuckets are the default latency buckets in seconds, matching the
+// Prometheus client defaults: 5ms to 10s.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram counts observations into fixed buckets. Buckets are upper
+// bounds in ascending order; observations above the last bound land only
+// in the implicit +Inf bucket (the total count).
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // non-cumulative; cumulated at exposition time
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the observation sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	for i := 1; i < len(bs); i++ {
+		if bs[i] <= bs[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{bounds: bs, buckets: make([]atomic.Uint64, len(bs))}
+}
+
+// Observe records one value. Allocation-free and lock-free.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.buckets[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Label is one constant name=value pair attached at registration time.
+// Resolving labels at registration is what keeps the record path
+// allocation-free: the exposition string is built once, up front.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type metric struct {
+	family string // metric name without labels
+	labels string // rendered `k="v",...` (no braces), "" when unlabeled
+	help   string
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry is a named collection of metrics. The zero value is not usable;
+// call NewRegistry. All methods are safe for concurrent use, and every
+// constructor is get-or-create: requesting an already-registered
+// name+labels pair returns the existing metric.
+type Registry struct {
+	mu    sync.Mutex
+	byKey map[string]*metric
+	ms    []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// Counter registers (or finds) a counter. Returns nil on a nil registry.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.getOrCreate(name, help, kindCounter, nil, labels)
+	if m == nil {
+		return nil
+	}
+	return m.c
+}
+
+// Gauge registers (or finds) a gauge. Returns nil on a nil registry.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.getOrCreate(name, help, kindGauge, nil, labels)
+	if m == nil {
+		return nil
+	}
+	return m.g
+}
+
+// Histogram registers (or finds) a histogram with the given bucket upper
+// bounds (DefBuckets when nil). Returns nil on a nil registry. Buckets are
+// fixed by the first registration of a family.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	m := r.getOrCreate(name, help, kindHistogram, buckets, labels)
+	if m == nil {
+		return nil
+	}
+	return m.h
+}
+
+func (r *Registry) getOrCreate(name, help string, kind metricKind, buckets []float64, labels []Label) *metric {
+	if r == nil {
+		return nil
+	}
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	ls := renderLabels(labels)
+	key := name + "{" + ls + "}"
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byKey[key]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: %s registered as %s, re-requested as %s", key, m.kind, kind))
+		}
+		return m
+	}
+	// A family must not mix types across label sets either.
+	for _, m := range r.ms {
+		if m.family == name && m.kind != kind {
+			panic(fmt.Sprintf("obs: family %s registered as %s, re-requested as %s", name, m.kind, kind))
+		}
+	}
+	m := &metric{family: name, labels: ls, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	case kindHistogram:
+		m.h = newHistogram(buckets)
+	}
+	r.byKey[key] = m
+	r.ms = append(r.ms, m)
+	return m
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WriteText writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by family then label set, with
+// one HELP/TYPE header per family. Values are read atomically per metric;
+// the snapshot is not transactional across metrics, which is the standard
+// scrape semantic.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ms := make([]*metric, len(r.ms))
+	copy(ms, r.ms)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].family != ms[j].family {
+			return ms[i].family < ms[j].family
+		}
+		return ms[i].labels < ms[j].labels
+	})
+
+	var b strings.Builder
+	lastFamily := ""
+	for _, m := range ms {
+		if m.family != lastFamily {
+			lastFamily = m.family
+			if m.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", m.family, escapeHelp(m.help))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.family, m.kind)
+		}
+		switch m.kind {
+		case kindCounter:
+			writeSample(&b, m.family, "", m.labels, "", formatUint(m.c.Value()))
+		case kindGauge:
+			writeSample(&b, m.family, "", m.labels, "", strconv.FormatInt(m.g.Value(), 10))
+		case kindHistogram:
+			var cum uint64
+			for i, ub := range m.h.bounds {
+				cum += m.h.buckets[i].Load()
+				writeSample(&b, m.family, "_bucket", m.labels,
+					`le="`+formatFloat(ub)+`"`, formatUint(cum))
+			}
+			writeSample(&b, m.family, "_bucket", m.labels, `le="+Inf"`, formatUint(m.h.Count()))
+			writeSample(&b, m.family, "_sum", m.labels, "", formatFloat(m.h.Sum()))
+			writeSample(&b, m.family, "_count", m.labels, "", formatUint(m.h.Count()))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSample(b *strings.Builder, family, suffix, labels, extraLabel, value string) {
+	b.WriteString(family)
+	b.WriteString(suffix)
+	if labels != "" || extraLabel != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		if labels != "" && extraLabel != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraLabel)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry in Prometheus text format; mount it at
+// GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WriteText(w); err != nil {
+			// Headers are out; all we can do is drop the connection early.
+			return
+		}
+	})
+}

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("widgets_total", "widgets")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Errorf("Value = %d", c.Value())
+	}
+	// Get-or-create: same name+labels returns the same counter.
+	if r.Counter("widgets_total", "widgets") != c {
+		t.Error("re-registration returned a different counter")
+	}
+	if r.Counter("widgets_total", "widgets", L("k", "v")) == c {
+		t.Error("different label set returned the same counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewRegistry().Gauge("depth", "queue depth")
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("Value = %d", g.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewRegistry().Histogram("lat", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-56.05) > 1e-9 {
+		t.Errorf("Sum = %g", got)
+	}
+	var b strings.Builder
+	reg := NewRegistry()
+	h2 := reg.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h2.Observe(v)
+	}
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_sum 56.05`,
+		`lat_seconds_count 5`,
+		"# TYPE lat_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("x2", "")
+	h := r.Histogram("x3", "", nil)
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Inc()
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics retained state")
+	}
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Errorf("nil WriteText: %v", err)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "bees seen", L("kind", "honey")).Add(3)
+	r.Counter("b_total", "bees seen", L("kind", `quo"te`)).Inc()
+	r.Gauge("a_gauge", "level\nsecond line").Set(-2)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP a_gauge level\nsecond line
+# TYPE a_gauge gauge
+a_gauge -2
+# HELP b_total bees seen
+# TYPE b_total counter
+b_total{kind="honey"} 3
+b_total{kind="quo\"te"} 1
+`
+	if got != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "", L("a", "1"), L("b", "2"))
+	c2 := r.Counter("x_total", "", L("b", "2"), L("a", "1"))
+	if c1 != c2 {
+		t.Error("label order produced distinct metrics")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge re-registration of a counter family did not panic")
+		}
+	}()
+	r.Gauge("dual", "")
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "hits").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	buf := make([]byte, 1<<10)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "hits_total 1") {
+		t.Errorf("body = %q", buf[:n])
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(0.01)
+				// Concurrent scrapes must be safe too.
+				if i%100 == 0 {
+					_ = r.WriteText(&strings.Builder{})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("c=%d g=%d h=%d", c.Value(), g.Value(), h.Count())
+	}
+}
+
+// The hot record path must not allocate: these are the increments sitting
+// inside request handlers and pipeline shard loops.
+func TestRecordPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", nil)
+	if n := testing.AllocsPerRun(100, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %g/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { g.Add(2) }); n != 0 {
+		t.Errorf("Gauge.Add allocates %g/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { h.Observe(0.3) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %g/op", n)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.042)
+	}
+}

@@ -15,7 +15,27 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"cellspot/internal/obs"
 )
+
+// Metrics holds the worker-utilization counters Do records when installed
+// via SetMetrics: how many sharded runs executed, how many shards they
+// covered, and how many worker goroutines were launched (serial runs
+// launch none). Shards/Runs approximates average run width; Workers/Runs
+// shows how much of the Parallelism knob is actually being used.
+type Metrics struct {
+	Runs    *obs.Counter // Do invocations with n > 0
+	Shards  *obs.Counter // shard executions (fn calls)
+	Workers *obs.Counter // goroutines launched by parallel runs
+}
+
+var metrics atomic.Pointer[Metrics]
+
+// SetMetrics installs process-wide Do instrumentation; nil disables it.
+// The pointer swap is atomic, so it is safe against in-flight Do calls;
+// when several pipeline runs race, the last installation wins.
+func SetMetrics(m *Metrics) { metrics.Store(m) }
 
 // Workers resolves a Parallelism knob into a concrete worker count:
 // 0 selects runtime.GOMAXPROCS(0), negative values clamp to 1 (serial),
@@ -39,6 +59,11 @@ func Do(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	m := metrics.Load()
+	if m != nil {
+		m.Runs.Inc()
+		m.Shards.Add(uint64(n))
+	}
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
@@ -48,6 +73,9 @@ func Do(n, workers int, fn func(i int)) {
 			fn(i)
 		}
 		return
+	}
+	if m != nil {
+		m.Workers.Add(uint64(workers))
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup

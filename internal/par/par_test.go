@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"cellspot/internal/obs"
 )
 
 func TestWorkers(t *testing.T) {
@@ -76,6 +78,31 @@ func TestDoShardDeterminism(t *testing.T) {
 				t.Fatalf("workers=%d: diverged at index %d", workers, i)
 			}
 		}
+	}
+}
+
+func TestDoMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		Runs:    reg.Counter("par_do_runs_total", ""),
+		Shards:  reg.Counter("par_shards_total", ""),
+		Workers: reg.Counter("par_workers_launched_total", ""),
+	}
+	SetMetrics(m)
+	t.Cleanup(func() { SetMetrics(nil) })
+
+	Do(10, 1, func(int) {}) // serial: shards counted, no workers launched
+	Do(10, 4, func(int) {})
+	Do(0, 4, func(int) {}) // empty runs are not counted
+
+	if got := m.Runs.Value(); got != 2 {
+		t.Errorf("runs = %d, want 2", got)
+	}
+	if got := m.Shards.Value(); got != 20 {
+		t.Errorf("shards = %d, want 20", got)
+	}
+	if got := m.Workers.Value(); got != 4 {
+		t.Errorf("workers = %d, want 4", got)
 	}
 }
 

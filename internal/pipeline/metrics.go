@@ -1,0 +1,53 @@
+package pipeline
+
+import (
+	"time"
+
+	"cellspot/internal/obs"
+	"cellspot/internal/par"
+)
+
+// stageBuckets widen obs.DefBuckets upward: full-scale world generation
+// runs for minutes, not milliseconds.
+var stageBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// observeStage records one stage execution — wall time into a per-stage
+// histogram, items into a per-stage counter — on the run's registry.
+// Recording is observation-only (no RNG, no ordering effects), so enabling
+// metrics cannot perturb the pipeline's deterministic outputs.
+func (c Config) observeStage(stage string, start time.Time, items int) {
+	reg := c.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Histogram("pipeline_stage_seconds",
+		"Wall time per pipeline stage execution.",
+		stageBuckets, obs.L("stage", stage)).
+		Observe(time.Since(start).Seconds())
+	reg.Counter("pipeline_stage_items_total",
+		"Items processed per pipeline stage (blocks, records, or block-days).",
+		obs.L("stage", stage)).
+		Add(uint64(max(items, 0)))
+	reg.Counter("pipeline_stage_runs_total",
+		"Executions per pipeline stage.",
+		obs.L("stage", stage)).Inc()
+}
+
+// wirePar points the par worker-utilization counters at the run's
+// registry. The par hook is process-wide, so when concurrent runs carry
+// different registries the last wiring wins — acceptable for the daemons
+// and batch tools, which share one registry per process.
+func (c Config) wirePar() {
+	reg := c.Metrics
+	if reg == nil {
+		return
+	}
+	par.SetMetrics(&par.Metrics{
+		Runs: reg.Counter("par_do_runs_total",
+			"Sharded par.Do invocations."),
+		Shards: reg.Counter("par_shards_total",
+			"Shards executed across all par.Do runs."),
+		Workers: reg.Counter("par_workers_launched_total",
+			"Worker goroutines launched by parallel par.Do runs."),
+	})
+}

@@ -1,0 +1,49 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"cellspot/internal/obs"
+)
+
+// TestStageMetricsRecorded runs a small pipeline with a registry attached
+// and checks that every stage reported wall time and items, and that the
+// par worker-utilization counters moved.
+func TestStageMetricsRecorded(t *testing.T) {
+	cfg := equivConfig(1, 0.005, 2)
+	reg := cfg.Metrics
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, stage := range []string{"world", "beacon", "demand", "classify", "analyze"} {
+		c := reg.Counter("pipeline_stage_runs_total", "", obs.L("stage", stage))
+		if c.Value() != 1 {
+			t.Errorf("stage %s ran %d times in metrics, want 1", stage, c.Value())
+		}
+		h := reg.Histogram("pipeline_stage_seconds", "", nil, obs.L("stage", stage))
+		if h.Count() != 1 {
+			t.Errorf("stage %s recorded %d timings, want 1", stage, h.Count())
+		}
+		if !strings.Contains(out, `pipeline_stage_seconds_count{stage="`+stage+`"} 1`) {
+			t.Errorf("exposition missing stage %s", stage)
+		}
+	}
+	for _, stage := range []string{"world", "beacon", "demand", "classify"} {
+		c := reg.Counter("pipeline_stage_items_total", "", obs.L("stage", stage))
+		if c.Value() == 0 {
+			t.Errorf("stage %s reported zero items", stage)
+		}
+	}
+	if reg.Counter("par_do_runs_total", "").Value() == 0 {
+		t.Error("par runs counter did not move")
+	}
+	if reg.Counter("par_shards_total", "").Value() == 0 {
+		t.Error("par shards counter did not move")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"cellspot/internal/aschar"
 	"cellspot/internal/netaddr"
+	"cellspot/internal/obs"
 )
 
 // The equivalence suite: the serial path (Parallelism: 1) is the oracle,
@@ -40,6 +41,9 @@ func equivConfig(seed uint64, scale float64, parallelism int) Config {
 	cfg.Beacon.Seed = seed + 1
 	cfg.Demand.Seed = seed + 2
 	cfg.Parallelism = parallelism
+	// Metrics on for every equivalence run: recording per-stage timings and
+	// par counters must not perturb any output the suite compares.
+	cfg.Metrics = obs.NewRegistry()
 	return cfg
 }
 

@@ -7,6 +7,7 @@ package pipeline
 import (
 	"fmt"
 	"net/netip"
+	"time"
 
 	"cellspot/internal/aschar"
 	"cellspot/internal/beacon"
@@ -15,6 +16,7 @@ import (
 	"cellspot/internal/dnsmap"
 	"cellspot/internal/macro"
 	"cellspot/internal/netaddr"
+	"cellspot/internal/obs"
 	"cellspot/internal/rdns"
 	"cellspot/internal/world"
 )
@@ -36,6 +38,12 @@ type Config struct {
 	// its own PCG(seed, streamConst^shardIndex) stream and shard outputs
 	// merge in shard order.
 	Parallelism int
+
+	// Metrics, when non-nil, receives per-stage wall-time histograms and
+	// items-processed counters (pipeline_stage_* families) plus the
+	// internal/par worker-utilization counters. Recording is
+	// observation-only, so results stay bit-identical with metrics on.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper-parameter run at the default world scale.
@@ -109,36 +117,46 @@ func (r *Result) ResolverAS(addr netip.Addr) (uint32, bool) {
 
 // Run executes the full pipeline on a freshly generated global world.
 func Run(cfg Config) (*Result, error) {
+	cfg.wirePar()
 	cfg.World.Parallelism = cfg.Parallelism
+	start := time.Now()
 	w, err := world.Generate(cfg.World)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: world: %w", err)
 	}
+	cfg.observeStage("world", start, len(w.Blocks))
 	return RunOnWorld(w, cfg)
 }
 
 // RunCaseStudy executes the pipeline on the paper-scale three-carrier
 // world used for Table 3, Fig 3, Fig 6, and Fig 8.
 func RunCaseStudy(cfg Config) (*Result, error) {
+	cfg.wirePar()
+	start := time.Now()
 	w, err := world.GenerateCaseStudy(world.CaseStudyConfig{Seed: cfg.World.Seed})
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: case study: %w", err)
 	}
+	cfg.observeStage("world", start, len(w.Blocks))
 	return RunOnWorld(w, cfg)
 }
 
 // RunOnWorld executes the measurement pipeline against an existing world.
 func RunOnWorld(w *world.World, cfg Config) (*Result, error) {
+	cfg.wirePar()
 	cfg.Beacon.Parallelism = cfg.Parallelism
 	cfg.Demand.Parallelism = cfg.Parallelism
 	r := &Result{Config: cfg, World: w}
 
+	start := time.Now()
 	agg, err := beacon.Generate(w, cfg.Beacon)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: beacon: %w", err)
 	}
 	r.Beacon = agg
+	cfg.observeStage("beacon", start, agg.Blocks())
 
+	start = time.Now()
 	daily, err := demand.GenerateDaily(w, cfg.Demand)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: demand: %w", err)
@@ -149,11 +167,14 @@ func RunOnWorld(w *world.World, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("pipeline: smooth: %w", err)
 	}
 	r.Demand = ds
+	cfg.observeStage("demand", start, len(daily.Days)*ds.Blocks())
 
 	if err := r.Classify(cfg.Threshold); err != nil {
 		return nil, err
 	}
+	start = time.Now()
 	r.Analyze()
+	cfg.observeStage("analyze", start, len(r.Stats))
 	return r, nil
 }
 
@@ -164,7 +185,9 @@ func (r *Result) Classify(threshold float64) error {
 	if err != nil {
 		return fmt.Errorf("pipeline: %w", err)
 	}
+	start := time.Now()
 	r.Detected = cls.ClassifyParallel(r.Beacon, r.Config.Parallelism)
+	r.Config.observeStage("classify", start, r.Beacon.Blocks())
 	return nil
 }
 

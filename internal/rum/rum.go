@@ -21,6 +21,7 @@ import (
 	"cellspot/internal/beacon"
 	"cellspot/internal/logio"
 	"cellspot/internal/netinfo"
+	"cellspot/internal/obs"
 )
 
 // MaxBodyBytes bounds one POST body; batches beyond it are rejected.
@@ -34,6 +35,13 @@ type Collector struct {
 	authToken string
 	received  int
 	rejected  int
+
+	// Ingest metrics; nil without WithMetrics (obs metrics no-op on nil).
+	mReceived     *obs.Counter
+	mRejected     *obs.Counter
+	mUnauthorized *obs.Counter
+	mSpooled      *obs.Counter
+	mBlocks       *obs.Gauge
 }
 
 // Option configures a Collector.
@@ -50,6 +58,23 @@ func WithSpool(sp *logio.Spool) Option {
 // endpoints. Stats remain unauthenticated (they are operational metadata).
 func WithAuthToken(token string) Option {
 	return func(c *Collector) { c.authToken = token }
+}
+
+// WithMetrics registers the collector's ingest metrics on reg:
+//
+//	rum_records_received_total  accepted records
+//	rum_records_rejected_total  records rejected by validation or parsing
+//	rum_unauthorized_total      posts refused for a missing/wrong token
+//	rum_spooled_records_total   records written to the spool
+//	rum_blocks                  distinct blocks in the live aggregate
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *Collector) {
+		c.mReceived = reg.Counter("rum_records_received_total", "Beacon records accepted.")
+		c.mRejected = reg.Counter("rum_records_rejected_total", "Beacon records rejected by validation or parsing.")
+		c.mUnauthorized = reg.Counter("rum_unauthorized_total", "Beacon posts refused for a missing or wrong bearer token.")
+		c.mSpooled = reg.Counter("rum_spooled_records_total", "Beacon records written to the disk spool.")
+		c.mBlocks = reg.Gauge("rum_blocks", "Distinct blocks in the live aggregate.")
+	}
 }
 
 // NewCollector creates an empty collector.
@@ -94,14 +119,25 @@ func (c *Collector) Close() error {
 	return c.spool.Close()
 }
 
-// Handler returns the collector's HTTP mux:
+// Router is the route-registration surface MountRoutes needs; both
+// *http.ServeMux and the instrumented httpmw.Mux satisfy it.
+type Router interface {
+	HandleFunc(pattern string, handler func(http.ResponseWriter, *http.Request))
+}
+
+// MountRoutes registers the collector's routes on r:
 //
 //	POST /v1/beacons — NDJSON beacon records (one JSON object per line)
 //	GET  /v1/stats   — collector counters as JSON
+func (c *Collector) MountRoutes(r Router) {
+	r.HandleFunc("POST /v1/beacons", c.handleBeacons)
+	r.HandleFunc("GET /v1/stats", c.handleStats)
+}
+
+// Handler returns the collector's routes on a plain mux.
 func (c *Collector) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/beacons", c.handleBeacons)
-	mux.HandleFunc("GET /v1/stats", c.handleStats)
+	c.MountRoutes(mux)
 	return mux
 }
 
@@ -109,6 +145,7 @@ func (c *Collector) handleBeacons(w http.ResponseWriter, r *http.Request) {
 	if c.authToken != "" {
 		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
 		if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(c.authToken)) != 1 {
+			c.mUnauthorized.Inc()
 			http.Error(w, "unauthorized", http.StatusUnauthorized)
 			return
 		}
@@ -160,10 +197,13 @@ func (c *Collector) accept(batch []beacon.Record) error {
 			if err := c.spool.Write(rec); err != nil {
 				return err
 			}
+			c.mSpooled.Inc()
 		}
 		c.agg.AddRecord(rec)
 		c.received++
+		c.mReceived.Inc()
 	}
+	c.mBlocks.Set(int64(c.agg.Blocks()))
 	return nil
 }
 
@@ -171,6 +211,7 @@ func (c *Collector) reject(n int) {
 	c.mu.Lock()
 	c.rejected += n
 	c.mu.Unlock()
+	c.mRejected.Add(uint64(n))
 }
 
 func (c *Collector) handleStats(w http.ResponseWriter, _ *http.Request) {

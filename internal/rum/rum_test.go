@@ -12,6 +12,7 @@ import (
 	"cellspot/internal/beacon"
 	"cellspot/internal/logio"
 	"cellspot/internal/netaddr"
+	"cellspot/internal/obs"
 )
 
 func rec(ip, conn string) beacon.Record {
@@ -214,6 +215,86 @@ func TestCollectorAuth(t *testing.T) {
 	}
 	if st := col.Stats(); st.Received != 1 {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestCollectorAuthStatusCode pins the rejection status itself: a missing
+// or malformed token must yield exactly 401, not just "some client error".
+func TestCollectorAuthStatusCode(t *testing.T) {
+	col := NewCollector(WithAuthToken("s3cret"))
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	body := `{"ip":"1.2.3.4","conn":"wifi"}` + "\n"
+	for name, apply := range map[string]func(*http.Request){
+		"no header":     func(*http.Request) {},
+		"wrong token":   func(r *http.Request) { r.Header.Set("Authorization", "Bearer nope") },
+		"not bearer":    func(r *http.Request) { r.Header.Set("Authorization", "Basic s3cret") },
+		"empty bearer":  func(r *http.Request) { r.Header.Set("Authorization", "Bearer ") },
+		"token as body": func(r *http.Request) { r.Header.Set("X-Token", "s3cret") },
+	} {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/beacons", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		apply(req)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("%s: status = %d, want 401", name, resp.StatusCode)
+		}
+	}
+	// Rejected posts must not leak records into the aggregate.
+	if st := col.Stats(); st.Received != 0 || st.Blocks != 0 {
+		t.Errorf("stats after unauthorized posts = %+v", st)
+	}
+}
+
+func TestCollectorMetrics(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	col := NewCollector(
+		WithSpool(logio.NewSpool(dir, "rum", false, 0)),
+		WithAuthToken("s3cret"),
+		WithMetrics(reg),
+	)
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	cl := &Client{BaseURL: srv.URL, AuthToken: "s3cret"}
+	if err := cl.Post(context.Background(), []beacon.Record{
+		rec("10.1.1.5", "cellular"), rec("10.1.1.6", "wifi"), rec("10.2.2.5", "wifi"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// One garbage post (counted rejected) and one unauthorized post.
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/beacons", strings.NewReader("{broken\n"))
+	req.Header.Set("Authorization", "Bearer s3cret")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := (&Client{BaseURL: srv.URL}).Post(context.Background(), []beacon.Record{rec("1.1.1.1", "wifi")}); err == nil {
+		t.Fatal("unauthorized post accepted")
+	}
+
+	checks := map[string]uint64{
+		"rum_records_received_total": 3,
+		"rum_records_rejected_total": 1,
+		"rum_unauthorized_total":     1,
+		"rum_spooled_records_total":  3,
+	}
+	for name, want := range checks {
+		if got := reg.Counter(name, "").Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := reg.Gauge("rum_blocks", "").Value(); got != 2 {
+		t.Errorf("rum_blocks = %d, want 2", got)
 	}
 }
 
