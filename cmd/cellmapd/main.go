@@ -1,52 +1,182 @@
-// Command cellmapd serves an exported cellular map over HTTP: the lookup
+// Command cellmapd serves a cellular map over HTTP: the lookup
 // microservice a CDN would run in front of the published dataset.
 //
-//	cellmapd -map cellmap.jsonl [-addr :8781]
+// The served map can be static (-map FILE, the classic mode) or live: with
+// -snapshots the daemon boots from the snapshot store's CURRENT generation
+// and hot-swaps to newer generations with zero lookup downtime — on SIGHUP,
+// on POST /v1/reload, or by polling the store (-poll). With -live-spool it
+// additionally embeds the refresh loop itself, tailing a beacond spool and
+// publishing a new generation every -refresh interval.
 //
-//	GET /v1/lookup?ip=1.2.3.4
-//	GET /v1/info
-//	GET /metrics
+//	cellmapd -map cellmap.jsonl [-addr :8781]
+//	cellmapd -snapshots DIR [-poll 10s] [-live-spool SPOOLDIR -refresh 30s]
+//
+//	GET  /v1/lookup?ip=1.2.3.4
+//	GET  /v1/info
+//	POST /v1/reload
+//	GET  /metrics
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
+	"cellspot/internal/aschar"
 	"cellspot/internal/cellmap"
+	"cellspot/internal/classify"
+	"cellspot/internal/demand"
+	"cellspot/internal/live"
+	"cellspot/internal/netaddr"
 	"cellspot/internal/obs"
 	"cellspot/internal/obs/httpmw"
+	"cellspot/internal/snapshot"
+	"cellspot/internal/world"
 )
 
 func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("cellmapd: ")
+	os.Exit(run())
+}
 
-	mapPath := flag.String("map", "cellmap.jsonl", "map file from 'cellspot export'")
+// run carries the daemon lifecycle and returns the process exit code, so
+// deferred cleanup still executes on failure paths (log.Fatal and os.Exit
+// both skip defers).
+func run() int {
+	mapPath := flag.String("map", "", "static map file from 'cellspot export'")
 	addr := flag.String("addr", ":8781", "listen address")
+	snapDir := flag.String("snapshots", "", "snapshot store directory; boot from CURRENT and hot-swap to new generations")
+	poll := flag.Duration("poll", 10*time.Second, "snapshot store polling interval (0 disables polling)")
+	liveSpool := flag.String("live-spool", "", "embed the live refresh loop, tailing this beacond spool directory")
+	livePrefix := flag.String("live-prefix", live.DefaultSpoolPrefix, "spool file prefix tailed by the live refresh loop")
+	refresh := flag.Duration("refresh", live.DefaultInterval, "live refresh interval")
+	windowDays := flag.Int("window-days", live.DefaultWindowDays, "sliding aggregation window in days")
+	threshold := flag.Float64("threshold", classify.DefaultThreshold, "classifier cellular-ratio threshold")
+	keep := flag.Int("keep", live.DefaultKeep, "published generations retained by pruning")
+	worldSeed := flag.Uint64("world-seed", world.DefaultConfig().Seed, "synthetic world seed for live-mode side inputs")
+	worldScale := flag.Float64("world-scale", world.DefaultConfig().Scale, "synthetic world scale for live-mode side inputs")
 	flag.Parse()
 
-	f, err := os.Open(*mapPath)
-	if err != nil {
-		log.Fatal(err)
+	if *liveSpool != "" && *snapDir == "" {
+		log.Print("-live-spool requires -snapshots (generations must be published somewhere)")
+		return 2
 	}
-	m, err := cellmap.Read(f)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
+	if *mapPath == "" && *snapDir == "" {
+		log.Print("nothing to serve: pass -map FILE and/or -snapshots DIR")
+		return 2
 	}
-	log.Printf("loaded %s: %d prefixes, period %s", *mapPath, m.Len(), m.Period)
 
 	reg := obs.NewRegistry()
-	reg.Gauge("cellmap_entries", "Prefixes in the served map.").Set(int64(m.Len()))
+
+	var store *snapshot.Store
+	if *snapDir != "" {
+		var err error
+		if store, err = snapshot.Open(*snapDir); err != nil {
+			log.Print(err)
+			return 2
+		}
+	}
+
+	// Boot map: the store's CURRENT generation wins; a static -map file is
+	// the fallback; an empty bootstrap map serves misses until the first
+	// generation lands.
+	m := cellmap.Empty("boot")
+	gen := uint64(0)
+	source := "bootstrap (empty)"
+	if store != nil {
+		cur, ok, err := store.Current()
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		if ok {
+			lm, err := live.ReadGenerationMap(cur)
+			if err != nil {
+				log.Print(err)
+				return 2
+			}
+			m, gen, source = lm, cur.Seq, cur.Dir
+		}
+	}
+	if gen == 0 && *mapPath != "" {
+		sm, err := readMapFile(*mapPath)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		m, source = sm, *mapPath
+	}
+	log.Printf("serving %s: %d prefixes, period %s, generation %d", source, m.Len(), m.Period, gen)
+
+	sw := cellmap.NewSwappable(m, gen)
+	sw.EnableMetrics(reg)
+
+	// reload loads a newer generation (or re-reads the static map file) and
+	// swaps it in. The mutex serializes loaders, not lookups: readers never
+	// block on a reload.
+	var reloadMu sync.Mutex
+	reload := func(force bool) (swapped bool, err error) {
+		reloadMu.Lock()
+		defer reloadMu.Unlock()
+		if store != nil {
+			cur, ok, err := store.Current()
+			if err != nil {
+				return false, err
+			}
+			if ok && (cur.Seq > sw.Generation() || force) {
+				lm, err := live.ReadGenerationMap(cur)
+				if err != nil {
+					return false, err
+				}
+				sw.Swap(lm, cur.Seq)
+				log.Printf("swapped to generation %d: %d prefixes, period %s", cur.Seq, lm.Len(), lm.Period)
+				return true, nil
+			}
+			if ok || *mapPath == "" {
+				return false, nil
+			}
+			// Store exists but is empty: fall through to the static file.
+		}
+		if *mapPath == "" || !force {
+			return false, nil
+		}
+		sm, err := readMapFile(*mapPath)
+		if err != nil {
+			return false, err
+		}
+		sw.Swap(sm, 0)
+		log.Printf("reloaded %s: %d prefixes, period %s", *mapPath, sm.Len(), sm.Period)
+		return true, nil
+	}
+
 	mux := httpmw.NewMux(reg)
-	cellmap.MountRoutes(mux, m)
+	cellmap.MountSource(mux, sw)
+	mux.HandleFunc("POST /v1/reload", func(w http.ResponseWriter, r *http.Request) {
+		swapped, err := reload(true)
+		w.Header().Set("Content-Type", "application/json")
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		cur, curGen := sw.Current()
+		json.NewEncoder(w).Encode(map[string]any{
+			"reloaded":   swapped,
+			"generation": curGen,
+			"entries":    cur.Len(),
+			"period":     cur.Period,
+		})
+	})
 	mux.Handle("GET /metrics", reg.Handler())
 
 	srv := &http.Server{
@@ -59,9 +189,85 @@ func main() {
 		WriteTimeout:      10 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	// SIGHUP forces a reload, the unix idiom for "pick up the new data".
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				if _, err := reload(true); err != nil {
+					log.Printf("reload (SIGHUP): %v", err)
+				}
+			}
+		}
+	}()
+
+	// Store polling picks up generations published by an external updater
+	// (or the embedded one below) without any signal plumbing.
+	if store != nil && *poll > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(*poll)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if _, err := reload(false); err != nil {
+						log.Printf("reload (poll): %v", err)
+					}
+				}
+			}
+		}()
+	}
+
+	// Embedded live refresh: tail the beacond spool and publish generations
+	// into the store the poller above is watching.
+	if *liveSpool != "" {
+		inputs, err := liveInputs(*worldSeed, *worldScale)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		u, err := live.NewUpdater(live.Config{
+			SpoolDir:    *liveSpool,
+			SpoolPrefix: *livePrefix,
+			WindowDays:  *windowDays,
+			Interval:    *refresh,
+			Threshold:   *threshold,
+			Inputs:      inputs,
+			Store:       store,
+			Keep:        *keep,
+			Metrics:     reg,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			u.Run(ctx)
+		}()
+	}
+
+	exit := 0
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s", *addr)
@@ -69,14 +275,66 @@ func main() {
 	}()
 	select {
 	case <-ctx.Done():
+		log.Print("shutting down")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			log.Printf("shutdown: %v", err)
+			exit = 1
 		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			log.Print(err)
+			exit = 1
 		}
 	}
+	stop() // unblock the signal/poll/updater goroutines before wg.Wait
+	return exit
+}
+
+// readMapFile loads a static exported map.
+func readMapFile(path string) (*cellmap.Map, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return cellmap.Read(f)
+}
+
+// liveInputs derives the live refresh loop's side inputs — DEMAND weights,
+// the BGP-style block→AS mapping, whois countries, and the CAIDA-style AS
+// filter rules — from the synthetic world, the same way beaconsim derives
+// the traffic it posts. Seed and scale must match the beacon source for the
+// mappings to line up.
+func liveInputs(seed uint64, scale float64) (live.MapInputs, error) {
+	wcfg := world.DefaultConfig()
+	wcfg.Seed = seed
+	wcfg.Scale = scale
+	w, err := world.Generate(wcfg)
+	if err != nil {
+		return live.MapInputs{}, fmt.Errorf("generating world: %w", err)
+	}
+	ds, err := demand.Generate(w, demand.DefaultGenConfig())
+	if err != nil {
+		return live.MapInputs{}, fmt.Errorf("generating demand: %w", err)
+	}
+	return live.MapInputs{
+		Demand: ds,
+		Rules:  aschar.DefaultRules(w.Snapshot),
+		ASOf: func(b netaddr.Block) (uint32, bool) {
+			bi := w.BlockIndex[b]
+			if bi == nil {
+				return 0, false
+			}
+			return bi.ASN, true
+		},
+		CountryOf: func(asNum uint32) (string, bool) {
+			a, ok := w.Registry.Lookup(asNum)
+			if !ok {
+				return "", false
+			}
+			return a.Country, true
+		},
+	}, nil
 }

@@ -30,6 +30,9 @@ type Info struct {
 	Threshold float64 `json:"threshold"`
 	Entries   int     `json:"entries"`
 	TotalDU   float64 `json:"total_du"`
+	// Generation is the snapshot-store generation being served; 0 for a
+	// statically loaded map.
+	Generation uint64 `json:"generation"`
 }
 
 // Router is the route-registration surface MountRoutes needs; both
@@ -38,15 +41,23 @@ type Router interface {
 	HandleFunc(pattern string, handler func(http.ResponseWriter, *http.Request))
 }
 
-// MountRoutes registers the lookup service's routes on r — the lookup
+// MountRoutes registers the lookup service's routes on r over an immutable
+// map; see MountSource for the general form.
+func MountRoutes(r Router, m *Map) {
+	MountSource(r, Static{M: m})
+}
+
+// MountSource registers the lookup service's routes on r — the lookup
 // microservice a CDN would put in front of the published dataset:
 //
 //	GET /v1/lookup?ip=ADDR — per-address cellular lookup
-//	GET /v1/info           — dataset metadata
+//	GET /v1/info           — dataset metadata, including the generation
 //
-// The map is immutable once built, so the handlers are safe for concurrent
-// use.
-func MountRoutes(r Router, m *Map) {
+// Every request resolves src.Current() exactly once and answers entirely
+// from that map, so a concurrent hot swap can never make one response mix
+// two generations. Maps are immutable once built, so the handlers are safe
+// for any number of concurrent requests.
+func MountSource(r Router, src Source) {
 	r.HandleFunc("GET /v1/lookup", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("ip")
 		if q == "" {
@@ -58,6 +69,7 @@ func MountRoutes(r Router, m *Map) {
 			writeError(w, http.StatusBadRequest, "bad ip: "+err.Error())
 			return
 		}
+		m, _ := src.Current()
 		resp := LookupResponse{Addr: addr.String()}
 		if e, ok := m.Lookup(addr); ok {
 			resp.Cellular = true
@@ -70,12 +82,14 @@ func MountRoutes(r Router, m *Map) {
 		writeJSON(w, resp)
 	})
 	r.HandleFunc("GET /v1/info", func(w http.ResponseWriter, _ *http.Request) {
+		m, gen := src.Current()
 		writeJSON(w, Info{
-			Format:    formatName,
-			Period:    m.Period,
-			Threshold: m.Threshold,
-			Entries:   m.Len(),
-			TotalDU:   m.TotalDU(),
+			Format:     formatName,
+			Period:     m.Period,
+			Threshold:  m.Threshold,
+			Entries:    m.Len(),
+			TotalDU:    m.TotalDU(),
+			Generation: gen,
 		})
 	})
 }

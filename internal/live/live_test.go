@@ -1,0 +1,617 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cellspot/internal/aschar"
+	"cellspot/internal/beacon"
+	"cellspot/internal/logio"
+	"cellspot/internal/netaddr"
+	"cellspot/internal/netinfo"
+	"cellspot/internal/obs"
+	"cellspot/internal/pipeline"
+	"cellspot/internal/snapshot"
+	"cellspot/internal/world"
+)
+
+// --- fixtures ---------------------------------------------------------
+
+// testFixture is a small world with pipeline-derived side inputs (demand,
+// BGP-style AS mapping, CAIDA-style snapshot rules) and a beacon record
+// stream: the full measurement context a live deployment would have.
+type testFixture struct {
+	World   *world.World
+	Inputs  MapInputs
+	Records []beacon.Record
+}
+
+func newFixture(t testing.TB, totalHits int) *testFixture {
+	t.Helper()
+	wcfg := world.DefaultConfig()
+	wcfg.Scale = 0.0005
+	// Noise networks don't scale with the world; trim them so they don't
+	// dominate a tiny Internet (same trim as examples/live-collector).
+	wcfg.StrayASes, wcfg.IoTASes, wcfg.ProxyASes = 20, 3, 3
+	w, err := world.Generate(wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pcfg := pipeline.DefaultConfig()
+	pcfg.World = wcfg
+	pcfg.Beacon.TotalHits = 100_000
+	pcfg.Beacon.BaseHits = 8
+	r, err := pipeline.RunOnWorld(w, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rules := aschar.DefaultRules(w.Snapshot)
+	// The paper's absolute thresholds assume 25M monthly responses; scale
+	// them down to the test stream so the filter still bites without
+	// wiping out every AS.
+	rules.MinHits = 50
+	rules.MinCellDU = 0.01
+
+	bcfg := beacon.DefaultGenConfig()
+	bcfg.TotalHits = totalHits
+	bcfg.BaseHits = 8
+	seq, err := beacon.Stream(w, bcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []beacon.Record
+	for rec := range seq {
+		records = append(records, rec)
+	}
+
+	return &testFixture{
+		World: w,
+		Inputs: MapInputs{
+			Demand:    r.Demand,
+			Rules:     rules,
+			ASOf:      r.ASOf,
+			CountryOf: r.CountryOf,
+		},
+		Records: records,
+	}
+}
+
+// writeShards writes records as manually sealed spool shards, nShards of
+// roughly equal size, optionally gzipped — the state a beacond spool is in
+// after that many rotations.
+func writeShards(t testing.TB, dir string, startShard int, records []beacon.Record, nShards int, gzipped bool) {
+	t.Helper()
+	per := (len(records) + nShards - 1) / nShards
+	for s := 0; s < nShards; s++ {
+		lo, hi := s*per, min((s+1)*per, len(records))
+		if lo >= hi {
+			break
+		}
+		ext := ".jsonl"
+		if gzipped {
+			ext += ".gz"
+		}
+		fw, err := logio.Create(filepath.Join(dir, fmt.Sprintf("beacon-%04d%s", startShard+s, ext)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range records[lo:hi] {
+			if err := fw.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fw.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func mustOpenStore(t testing.TB) *snapshot.Store {
+	t.Helper()
+	s, err := snapshot.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// --- window -----------------------------------------------------------
+
+func recAt(day int64, ip string, conn string) beacon.Record {
+	return beacon.Record{
+		Time: time.Unix(day*secondsPerDay+3600, 0).UTC(),
+		IP:   netip.MustParseAddr(ip),
+		Conn: conn,
+	}
+}
+
+func TestWindowSlidesAndPrunes(t *testing.T) {
+	cell := netinfo.ConnCellular.String()
+	w := NewWindow(3)
+	w.Add(recAt(100, "10.0.0.1", cell))
+	w.Add(recAt(101, "10.0.1.1", cell))
+	w.Add(recAt(102, "10.0.2.1", cell))
+	if w.Records() != 3 {
+		t.Fatalf("records = %d, want 3", w.Records())
+	}
+	if got := w.Period(); got != "live:1970-04-11..1970-04-13" {
+		t.Fatalf("period = %q", got)
+	}
+	// Day 104 evicts days 100 and 101.
+	w.Add(recAt(104, "10.0.4.1", cell))
+	if w.Records() != 2 || w.Stale() != 2 {
+		t.Fatalf("after slide: records=%d stale=%d, want 2/2", w.Records(), w.Stale())
+	}
+	// A record older than the window is dropped on arrival.
+	if w.Add(recAt(101, "10.0.1.2", cell)) {
+		t.Fatal("stale record accepted")
+	}
+	agg := w.Merged()
+	if agg.Blocks() != 2 {
+		t.Fatalf("merged blocks = %d, want 2", agg.Blocks())
+	}
+	if c := agg.PerBlock[netaddr.V4Block(10, 0, 2)]; c == nil || c.Hits != 1 || c.Cell != 1 {
+		t.Fatalf("day-102 block counts = %+v", c)
+	}
+	if c := agg.PerBlock[netaddr.V4Block(10, 0, 0)]; c != nil {
+		t.Fatal("evicted day's block survived into Merged")
+	}
+}
+
+// TestWindowOrderIndependence: the merged aggregate over the final window
+// must not depend on record arrival order.
+func TestWindowOrderIndependence(t *testing.T) {
+	cell := netinfo.ConnCellular.String()
+	records := []beacon.Record{
+		recAt(200, "10.1.0.1", cell), // will fall out of the window
+		recAt(205, "10.1.5.1", cell),
+		recAt(203, "10.1.3.1", ""),
+		recAt(207, "10.1.7.1", cell),
+		recAt(201, "10.1.1.1", cell), // stale on some orders, pruned on others
+		recAt(206, "10.1.6.1", cell),
+	}
+	perms := [][]int{{0, 1, 2, 3, 4, 5}, {3, 4, 5, 0, 1, 2}, {5, 4, 3, 2, 1, 0}, {2, 0, 3, 1, 5, 4}}
+	var want map[netaddr.Block]beacon.Counts
+	for pi, perm := range perms {
+		w := NewWindow(3)
+		for _, i := range perm {
+			w.Add(records[i])
+		}
+		got := make(map[netaddr.Block]beacon.Counts)
+		for b, c := range w.Merged().PerBlock {
+			got[b] = *c
+		}
+		if pi == 0 {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("perm %d: %d blocks, want %d", pi, len(got), len(want))
+		}
+		for b, c := range want {
+			if got[b] != c {
+				t.Fatalf("perm %d: block %v = %+v, want %+v", pi, b, got[b], c)
+			}
+		}
+	}
+}
+
+// --- tailer -----------------------------------------------------------
+
+func TestTailerPlainIncrementalAndPartialLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "beacon-0000.jsonl")
+	line1 := `{"ts":"2016-12-01T00:00:00Z","ip":"10.0.0.1","conn":"cellular"}` + "\n"
+	line2 := `{"ts":"2016-12-01T01:00:00Z","ip":"10.0.1.1","conn":"wifi"}` + "\n"
+	// First flush ends mid-record.
+	if err := os.WriteFile(path, []byte(line1+line2[:20]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTailer(dir, "beacon")
+	var got []string
+	poll := func() int {
+		n, err := tl.Poll(func(r beacon.Record) { got = append(got, r.IP.String()) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if n := poll(); n != 1 {
+		t.Fatalf("poll 1 consumed %d, want 1 (partial line must stay pending)", n)
+	}
+	// Complete the torn line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(line2[20:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if n := poll(); n != 1 {
+		t.Fatalf("poll 2 consumed %d, want 1", n)
+	}
+	if len(got) != 2 || got[0] != "10.0.0.1" || got[1] != "10.0.1.1" {
+		t.Fatalf("records = %v", got)
+	}
+	// Nothing new: no consumption, no error.
+	if n := poll(); n != 0 {
+		t.Fatalf("idle poll consumed %d", n)
+	}
+	if tl.Bad() != 0 {
+		t.Fatalf("bad lines = %d", tl.Bad())
+	}
+}
+
+func TestTailerSkipsMalformedCountsBad(t *testing.T) {
+	dir := t.TempDir()
+	content := `{"ts":"2016-12-01T00:00:00Z","ip":"10.0.0.1"}` + "\n" +
+		"this is not json\n" +
+		`{"ts":"2016-12-01T00:00:01Z","ip":"10.0.0.2"}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "beacon-0000.jsonl"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTailer(dir, "beacon")
+	n, err := tl.Poll(func(beacon.Record) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || tl.Bad() != 1 {
+		t.Fatalf("consumed %d bad %d, want 2/1", n, tl.Bad())
+	}
+}
+
+func TestTailerMissingDirIsEmpty(t *testing.T) {
+	tl := NewTailer(filepath.Join(t.TempDir(), "does-not-exist"), "beacon")
+	n, err := tl.Poll(func(beacon.Record) { t.Fatal("record from nowhere") })
+	if err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestTailerGzipTruncatedThenSealed(t *testing.T) {
+	dir := t.TempDir()
+	recs := []beacon.Record{
+		{Time: time.Unix(1480550400, 0).UTC(), IP: netip.MustParseAddr("10.2.0.1"), Conn: "cellular"},
+		{Time: time.Unix(1480550401, 0).UTC(), IP: netip.MustParseAddr("10.2.1.1"), Conn: "wifi"},
+		{Time: time.Unix(1480550402, 0).UTC(), IP: netip.MustParseAddr("10.2.2.1"), Conn: "cellular"},
+	}
+	// Build the complete gzip shard in a scratch dir, then replay a
+	// truncated prefix of it — the on-disk state while beacond is still
+	// writing — followed by the full file.
+	scratch := filepath.Join(t.TempDir(), "full.jsonl.gz")
+	fw, err := logio.Create(scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := fw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "beacon-0000.jsonl.gz")
+	if err := os.WriteFile(path, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTailer(dir, "beacon")
+	var got []string
+	poll := func() int {
+		n, err := tl.Poll(func(r beacon.Record) { got = append(got, r.IP.String()) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	n1 := poll()
+	// A truncated deflate stream may yield 0..2 complete records; it must
+	// not error and must not fabricate records.
+	if n1 > 2 {
+		t.Fatalf("truncated poll consumed %d", n1)
+	}
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n2 := poll()
+	if n1+n2 != len(recs) {
+		t.Fatalf("polls consumed %d+%d, want %d total", n1, n2, len(recs))
+	}
+	want := []string{"10.2.0.1", "10.2.1.1", "10.2.2.1"}
+	for i, ip := range want {
+		if got[i] != ip {
+			t.Fatalf("records = %v, want %v (no dupes, no gaps)", got, want)
+		}
+	}
+	// Unchanged sealed file: skipped without re-decoding.
+	if n := poll(); n != 0 {
+		t.Fatalf("sealed re-poll consumed %d", n)
+	}
+}
+
+// --- updater ----------------------------------------------------------
+
+// TestLiveOfflineEquivalence replays a spool through the live path (tailer
+// → window → BuildMap via a full Updater publish) and rebuilds offline from
+// the same records over the same window; the two maps must serialize to
+// identical bytes. Covers plain and gzip spools.
+func TestLiveOfflineEquivalence(t *testing.T) {
+	fx := newFixture(t, 60_000)
+	for _, gzipped := range []bool{false, true} {
+		name := "plain"
+		if gzipped {
+			name = "gzip"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			writeShards(t, dir, 0, fx.Records, 6, gzipped)
+			store := mustOpenStore(t)
+			u, err := NewUpdater(Config{
+				SpoolDir: dir,
+				Inputs:   fx.Inputs,
+				Store:    store,
+				Metrics:  obs.NewRegistry(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := u.Tick()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Published {
+				t.Fatal("tick over a full spool did not publish")
+			}
+			if res.NewRecords != len(fx.Records) {
+				t.Fatalf("consumed %d records, want %d", res.NewRecords, len(fx.Records))
+			}
+			liveBytes, err := os.ReadFile(res.Generation.Path(MapFile))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Offline rebuild over the same window: records of the final
+			// 7 days, aggregated directly.
+			var maxDay int64
+			for _, rec := range fx.Records {
+				if d := epochDay(rec.Time); d > maxDay {
+					maxDay = d
+				}
+			}
+			agg := beacon.NewAggregate()
+			inWindow := 0
+			for _, rec := range fx.Records {
+				if epochDay(rec.Time) > maxDay-DefaultWindowDays {
+					agg.AddRecord(rec)
+					inWindow++
+				}
+			}
+			if res.WindowRecords != inWindow {
+				t.Fatalf("window has %d records, offline window has %d", res.WindowRecords, inWindow)
+			}
+			day := func(d int64) string {
+				return time.Unix(d*secondsPerDay, 0).UTC().Format("2006-01-02")
+			}
+			period := fmt.Sprintf("live:%s..%s", day(maxDay-DefaultWindowDays+1), day(maxDay))
+			m, err := BuildMap(agg, u.cfg.Threshold, period, fx.Inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Len() == 0 {
+				t.Fatal("offline map is empty; the equivalence is vacuous")
+			}
+			var buf bytes.Buffer
+			if err := m.Write(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(liveBytes, buf.Bytes()) {
+				t.Fatalf("live map (%d bytes) differs from offline build (%d bytes)",
+					len(liveBytes), buf.Len())
+			}
+		})
+	}
+}
+
+// TestCheckpointRecovery restarts the updater mid-stream: the recovered
+// updater must consume only the new shard and publish the same map a
+// scratch updater over the whole spool does.
+func TestCheckpointRecovery(t *testing.T) {
+	fx := newFixture(t, 40_000)
+	half := len(fx.Records) / 2
+	dir := t.TempDir()
+	store := mustOpenStore(t)
+
+	writeShards(t, dir, 0, fx.Records[:half], 2, false)
+	u1, err := NewUpdater(Config{SpoolDir: dir, Inputs: fx.Inputs, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := u1.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Published || res1.NewRecords != half {
+		t.Fatalf("first tick: %+v", res1)
+	}
+
+	// The collector rotates on; the updater process restarts.
+	writeShards(t, dir, 2, fx.Records[half:], 2, false)
+	u2, err := NewUpdater(Config{SpoolDir: dir, Inputs: fx.Inputs, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := u2.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Published {
+		t.Fatal("post-recovery tick did not publish")
+	}
+	if res2.Generation.Seq != res1.Generation.Seq+1 {
+		t.Fatalf("generation %d, want %d", res2.Generation.Seq, res1.Generation.Seq+1)
+	}
+	if res2.NewRecords != len(fx.Records)-half {
+		t.Fatalf("recovered updater consumed %d records, want only the %d new ones (no spool re-read)",
+			res2.NewRecords, len(fx.Records)-half)
+	}
+
+	// A scratch updater over the full spool must produce identical bytes.
+	scratchDir := t.TempDir()
+	writeShards(t, scratchDir, 0, fx.Records, 4, false)
+	scratchStore := mustOpenStore(t)
+	u3, err := NewUpdater(Config{SpoolDir: scratchDir, Inputs: fx.Inputs, Store: scratchStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := u3.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(res2.Generation.Path(MapFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(res3.Generation.Path(MapFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("recovered updater's map differs from a from-scratch build")
+	}
+}
+
+// TestIdleTickDoesNotRepublish: no new records → no new generation.
+func TestIdleTickDoesNotRepublish(t *testing.T) {
+	fx := newFixture(t, 20_000)
+	dir := t.TempDir()
+	writeShards(t, dir, 0, fx.Records, 2, false)
+	store := mustOpenStore(t)
+	u, err := NewUpdater(Config{SpoolDir: dir, Inputs: fx.Inputs, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := u.Tick()
+	if err != nil || !res1.Published {
+		t.Fatalf("first tick: %+v err=%v", res1, err)
+	}
+	res2, err := u.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Published {
+		t.Fatal("idle tick republished")
+	}
+	cur, ok, err := store.Current()
+	if err != nil || !ok || cur.Seq != res1.Generation.Seq {
+		t.Fatalf("current generation moved: %+v ok=%v err=%v", cur, ok, err)
+	}
+}
+
+// TestFirstTickOnEmptySpoolPublishesEmptyGeneration: a serving stack needs
+// a generation to load even before the first beacon arrives.
+func TestFirstTickOnEmptySpoolPublishesEmptyGeneration(t *testing.T) {
+	store := mustOpenStore(t)
+	u, err := NewUpdater(Config{
+		SpoolDir: t.TempDir(),
+		Inputs:   MapInputs{ASOf: func(netaddr.Block) (uint32, bool) { return 0, false }},
+		Store:    store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := u.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Published || res.Entries != 0 {
+		t.Fatalf("bootstrap tick: %+v", res)
+	}
+	m, err := ReadGenerationMap(res.Generation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 || m.Period != "live:empty" {
+		t.Fatalf("bootstrap map: len=%d period=%q", m.Len(), m.Period)
+	}
+}
+
+// TestBuildMapAppliesASFilter: detected blocks in an AS that fails the
+// filter rules must not be published.
+func TestBuildMapAppliesASFilter(t *testing.T) {
+	agg := beacon.NewAggregate()
+	big := netaddr.V4Block(10, 0, 0)
+	small := netaddr.V4Block(10, 1, 0)
+	agg.Add(big, 200, 200, 200)  // AS 100: plenty of hits, fully cellular
+	agg.Add(small, 20, 20, 20)   // AS 200: cellular but under MinHits
+	asOf := func(b netaddr.Block) (uint32, bool) {
+		if b == big {
+			return 100, true
+		}
+		return 200, true
+	}
+	m, err := BuildMap(agg, 0.5, "test", MapInputs{
+		Rules: aschar.Rules{MinHits: 100},
+		ASOf:  asOf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("map has %d entries, want 1", m.Len())
+	}
+	if e := m.Entries()[0]; e.ASN != 100 {
+		t.Fatalf("surviving entry ASN = %d, want 100", e.ASN)
+	}
+	if _, ok := m.Lookup(netip.MustParseAddr("10.1.0.5")); ok {
+		t.Fatal("filtered AS's block is still published")
+	}
+}
+
+// TestUpdaterMetrics: one tick populates the live_* families.
+func TestUpdaterMetrics(t *testing.T) {
+	fx := newFixture(t, 20_000)
+	dir := t.TempDir()
+	writeShards(t, dir, 0, fx.Records, 2, false)
+	reg := obs.NewRegistry()
+	store := mustOpenStore(t)
+	u, err := NewUpdater(Config{SpoolDir: dir, Inputs: fx.Inputs, Store: store, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := u.Tick()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("live_tailed_records_total", "").Value(); v != uint64(len(fx.Records)) {
+		t.Fatalf("live_tailed_records_total = %d, want %d", v, len(fx.Records))
+	}
+	if v := reg.Gauge("live_window_records", "").Value(); v != int64(res.WindowRecords) {
+		t.Fatalf("live_window_records = %d, want %d", v, res.WindowRecords)
+	}
+	if v := reg.Counter("live_publish_total", "").Value(); v != 1 {
+		t.Fatalf("live_publish_total = %d, want 1", v)
+	}
+	if v := reg.Counter("live_refresh_total", "").Value(); v != 1 {
+		t.Fatalf("live_refresh_total = %d, want 1", v)
+	}
+	stale := reg.Counter("live_stale_records_total", "").Value()
+	if int(stale)+res.WindowRecords != len(fx.Records) {
+		t.Fatalf("stale (%d) + window (%d) != tailed (%d)", stale, res.WindowRecords, len(fx.Records))
+	}
+	if h := reg.Histogram("live_refresh_seconds", "", nil); h.Count() != 1 {
+		t.Fatalf("live_refresh_seconds count = %d, want 1", h.Count())
+	}
+}

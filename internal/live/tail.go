@@ -1,0 +1,208 @@
+package live
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cellspot/internal/beacon"
+	"cellspot/internal/logio"
+)
+
+// FilePos is the tailer's durable position in one spool file.
+//
+// Plain .jsonl files advance by byte offset: the next poll seeks straight
+// past what was already consumed. Gzip members cannot be re-entered at a
+// byte offset, so .gz files advance by complete-line count and are
+// re-decoded from the start when (and only when) the file has grown.
+type FilePos struct {
+	// Bytes is the consumed byte offset (plain files only).
+	Bytes int64 `json:"bytes,omitempty"`
+	// Lines is the number of complete lines consumed.
+	Lines int `json:"lines"`
+	// Size is the file size at the end of the last poll, used to skip
+	// re-decoding gzip files that have not grown.
+	Size int64 `json:"size"`
+}
+
+// Tailer incrementally reads a beacond spool directory: each Poll consumes
+// the records appended since the previous one, across shard rotations, in
+// shard order. Only newline-terminated lines are consumed — a partially
+// flushed last line stays pending until its terminator arrives, so a tick
+// that races beacond's writer never sees a torn record.
+type Tailer struct {
+	dir    string
+	prefix string
+	pos    map[string]*FilePos // keyed by file base name
+	bad    int                 // malformed complete lines skipped
+}
+
+// NewTailer returns a tailer over dir for spool files named
+// <prefix>-NNNN.jsonl[.gz], starting at the beginning of the spool.
+func NewTailer(dir, prefix string) *Tailer {
+	return &Tailer{dir: dir, prefix: prefix, pos: make(map[string]*FilePos)}
+}
+
+// Bad returns the number of malformed complete lines skipped so far.
+func (t *Tailer) Bad() int { return t.bad }
+
+// Positions returns a copy of the per-file positions, for checkpointing.
+func (t *Tailer) Positions() map[string]FilePos {
+	out := make(map[string]FilePos, len(t.pos))
+	for name, p := range t.pos {
+		out[name] = *p
+	}
+	return out
+}
+
+// Restore replaces the tailer's positions, resuming from a checkpoint.
+func (t *Tailer) Restore(pos map[string]FilePos) {
+	t.pos = make(map[string]*FilePos, len(pos))
+	for name, p := range pos {
+		cp := p
+		t.pos[name] = &cp
+	}
+}
+
+// Poll consumes every record appended to the spool since the last poll,
+// invoking fn per record, and returns how many records it consumed. A
+// missing spool directory is an empty spool, not an error (the collector
+// may simply not have started yet).
+func (t *Tailer) Poll(fn func(beacon.Record)) (int, error) {
+	files, err := logio.SpoolFiles(t.dir, t.prefix)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	total := 0
+	for _, path := range files {
+		base := filepath.Base(path)
+		p := t.pos[base]
+		if p == nil {
+			p = &FilePos{}
+			t.pos[base] = p
+		}
+		var n int
+		var err error
+		if strings.HasSuffix(base, ".gz") {
+			n, err = t.pollGzip(path, p, fn)
+		} else {
+			n, err = t.pollPlain(path, p, fn)
+		}
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// pollPlain seeks past the consumed prefix of a plain JSONL file and
+// decodes newly terminated lines.
+func (t *Tailer) pollPlain(path string, p *FilePos, fn func(beacon.Record)) (int, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	if fi.Size() <= p.Bytes {
+		p.Size = fi.Size()
+		return 0, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	if _, err := f.Seek(p.Bytes, io.SeekStart); err != nil {
+		return 0, err
+	}
+	br := bufio.NewReaderSize(f, 64<<10)
+	n := 0
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			// io.EOF with a partial line: leave it unconsumed; any other
+			// read error likewise retries from the same offset next poll.
+			if errors.Is(err, io.EOF) {
+				err = nil
+			}
+			p.Size = fi.Size()
+			return n, err
+		}
+		p.Bytes += int64(len(line))
+		p.Lines++
+		if rec, ok := t.decode(line); ok {
+			fn(rec)
+			n++
+		}
+	}
+}
+
+// pollGzip re-decodes a gzip spool file from the start, skipping the lines
+// consumed by earlier polls. Decode errors mean the file is still being
+// written (beacond seals the gzip stream only on rotation or shutdown);
+// progress made so far is kept and the rest retried next poll.
+func (t *Tailer) pollGzip(path string, p *FilePos, fn func(beacon.Record)) (int, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	if fi.Size() == p.Size {
+		return 0, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		// Header not flushed yet; nothing to read.
+		return 0, nil
+	}
+	defer zr.Close()
+	br := bufio.NewReaderSize(zr, 64<<10)
+	skip := p.Lines
+	n := 0
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			// Clean EOF or a truncated deflate stream mid-write: either
+			// way the complete lines we decoded are consumed for good.
+			p.Size = fi.Size()
+			return n, nil
+		}
+		if skip > 0 {
+			skip--
+			continue
+		}
+		p.Lines++
+		if rec, ok := t.decode(line); ok {
+			fn(rec)
+			n++
+		}
+	}
+}
+
+// decode parses one complete line; blank or malformed lines are skipped
+// (and counted), matching logio's lenient read semantics.
+func (t *Tailer) decode(line []byte) (beacon.Record, bool) {
+	raw := bytes.TrimSpace(line)
+	if len(raw) == 0 {
+		return beacon.Record{}, false
+	}
+	var rec beacon.Record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.bad++
+		return beacon.Record{}, false
+	}
+	return rec, true
+}

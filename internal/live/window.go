@@ -1,0 +1,133 @@
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"cellspot/internal/beacon"
+)
+
+// DefaultWindowDays matches the paper's seven-day DEMAND smoothing window.
+const DefaultWindowDays = 7
+
+// secondsPerDay converts record timestamps to epoch-day bucket keys.
+const secondsPerDay = 86400
+
+// epochDay returns the UTC day number a timestamp falls in.
+func epochDay(t time.Time) int64 {
+	s := t.Unix()
+	// Floor division, so pre-1970 timestamps (malformed clocks) still
+	// bucket consistently instead of rounding toward zero.
+	d := s / secondsPerDay
+	if s%secondsPerDay < 0 {
+		d--
+	}
+	return d
+}
+
+// Window is a sliding time window of per-day BEACON buckets: records fold
+// into the bucket of their UTC day, and buckets older than the window's
+// span — anchored at the newest day observed, not at the wall clock — are
+// pruned. The merged aggregate therefore depends only on the record
+// multiset, never on arrival order: a record survives into Merged exactly
+// when its day lies within the final window, because late-arriving old
+// records land in buckets that pruning removes wholesale.
+type Window struct {
+	days    int
+	latest  int64 // newest epoch day observed; meaningless until nonEmpty
+	nonEmpty bool
+	buckets map[int64]*dayBucket
+	records int // records across retained buckets
+	stale   int // records dropped on arrival as older than the window
+}
+
+type dayBucket struct {
+	agg     *beacon.Aggregate
+	records int
+}
+
+// NewWindow returns an empty window spanning the given number of days
+// (DefaultWindowDays when days <= 0).
+func NewWindow(days int) *Window {
+	if days <= 0 {
+		days = DefaultWindowDays
+	}
+	return &Window{days: days, buckets: make(map[int64]*dayBucket)}
+}
+
+// Days returns the window span in days.
+func (w *Window) Days() int { return w.days }
+
+// oldest returns the oldest retained day: days-1 before the newest.
+func (w *Window) oldest() int64 { return w.latest - int64(w.days) + 1 }
+
+// Add folds one record into its day bucket, advancing the window when the
+// record opens a newer day. It reports false when the record is older than
+// the window and was dropped.
+func (w *Window) Add(rec beacon.Record) bool {
+	day := epochDay(rec.Time)
+	if !w.nonEmpty {
+		w.latest = day
+		w.nonEmpty = true
+	}
+	if day > w.latest {
+		w.latest = day
+		w.prune()
+	}
+	if day < w.oldest() {
+		w.stale++
+		return false
+	}
+	b := w.buckets[day]
+	if b == nil {
+		b = &dayBucket{agg: beacon.NewAggregate()}
+		w.buckets[day] = b
+	}
+	b.agg.AddRecord(rec)
+	b.records++
+	w.records++
+	return true
+}
+
+// prune drops buckets that fell out of the window.
+func (w *Window) prune() {
+	min := w.oldest()
+	for day, b := range w.buckets {
+		if day < min {
+			w.records -= b.records
+			w.stale += b.records
+			delete(w.buckets, day)
+		}
+	}
+}
+
+// Records returns the number of records in retained buckets.
+func (w *Window) Records() int { return w.records }
+
+// Stale returns the number of records dropped as older than the window,
+// whether on arrival or by a later advance of the window.
+func (w *Window) Stale() int { return w.stale }
+
+// Merged returns the aggregate over every retained day bucket. Counts are
+// integers, so the merge is identical regardless of bucket or arrival
+// order.
+func (w *Window) Merged() *beacon.Aggregate {
+	out := beacon.NewAggregate()
+	for _, b := range w.buckets {
+		out.Merge(b.agg)
+	}
+	return out
+}
+
+// Period labels the window for the published map, e.g.
+// "live:2016-12-25..2016-12-31" — the (at most) days-long span ending at
+// the newest day observed. An empty window is labeled "live:empty".
+func (w *Window) Period() string {
+	if !w.nonEmpty {
+		return "live:empty"
+	}
+	fmtDay := func(d int64) string {
+		return time.Unix(d*secondsPerDay, 0).UTC().Format("2006-01-02")
+	}
+	return fmt.Sprintf("live:%s..%s", fmtDay(w.oldest()), fmtDay(w.latest))
+}
