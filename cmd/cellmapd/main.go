@@ -4,22 +4,30 @@
 // The served map can be static (-map FILE, the classic mode) or live: with
 // -snapshots the daemon boots from the snapshot store's CURRENT generation
 // and hot-swaps to newer generations with zero lookup downtime — on SIGHUP,
-// on POST /v1/reload, or by polling the store (-poll). With -live-spool it
-// additionally embeds the refresh loop itself, tailing a beacond spool and
-// publishing a new generation every -refresh interval.
+// on POST /v1/reload, or by polling the store (-poll, jittered ±10%). With
+// -live-spool it additionally embeds the refresh loop itself, tailing a
+// beacond spool and publishing a new generation every -refresh interval.
+//
+// The daemon also has two cluster roles. As a shard node it serves only
+// its partition of the keyspace and refuses misrouted addresses; as a
+// gateway it holds no map at all and routes lookups to the owning shard,
+// fanning batches out scatter-gather:
 //
 //	cellmapd -map cellmap.jsonl [-addr :8781]
 //	cellmapd -snapshots DIR [-poll 10s] [-live-spool SPOOLDIR -refresh 30s]
+//	cellmapd -cluster -shard i/N -topology FILE -snapshots DIR
+//	cellmapd -gateway -topology FILE
 //
 //	GET  /v1/lookup?ip=1.2.3.4
+//	POST /v1/lookup/batch
 //	GET  /v1/info
-//	POST /v1/reload
+//	POST /v1/reload            (map-serving modes)
+//	GET  /v1/cluster/health    (cluster modes)
 //	GET  /metrics
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -34,6 +42,7 @@ import (
 	"cellspot/internal/aschar"
 	"cellspot/internal/cellmap"
 	"cellspot/internal/classify"
+	"cellspot/internal/cluster"
 	"cellspot/internal/demand"
 	"cellspot/internal/live"
 	"cellspot/internal/netaddr"
@@ -57,6 +66,7 @@ func run() int {
 	addr := flag.String("addr", ":8781", "listen address")
 	snapDir := flag.String("snapshots", "", "snapshot store directory; boot from CURRENT and hot-swap to new generations")
 	poll := flag.Duration("poll", 10*time.Second, "snapshot store polling interval (0 disables polling)")
+	jitterSeedFlag := flag.Uint64("poll-jitter-seed", 0, "seed for the ±10% poll jitter (0 derives one from host+pid)")
 	liveSpool := flag.String("live-spool", "", "embed the live refresh loop, tailing this beacond spool directory")
 	livePrefix := flag.String("live-prefix", live.DefaultSpoolPrefix, "spool file prefix tailed by the live refresh loop")
 	refresh := flag.Duration("refresh", live.DefaultInterval, "live refresh interval")
@@ -65,8 +75,34 @@ func run() int {
 	keep := flag.Int("keep", live.DefaultKeep, "published generations retained by pruning")
 	worldSeed := flag.Uint64("world-seed", world.DefaultConfig().Seed, "synthetic world seed for live-mode side inputs")
 	worldScale := flag.Float64("world-scale", world.DefaultConfig().Scale, "synthetic world scale for live-mode side inputs")
+	topoPath := flag.String("topology", "", "cluster topology file (JSON), required by -cluster and -gateway")
+	clusterMode := flag.Bool("cluster", false, "serve as a cluster shard node: refuse addresses outside this shard's partition")
+	shardSpec := flag.String("shard", "", "this node's shard identity as i/N (with -cluster)")
+	gatewayMode := flag.Bool("gateway", false, "serve as a cluster gateway: route lookups to shard nodes, no local map")
 	flag.Parse()
 
+	if *gatewayMode {
+		switch {
+		case *clusterMode || *shardSpec != "":
+			log.Print("-gateway and -cluster/-shard are mutually exclusive: a node is either a shard or a router")
+			return 2
+		case *topoPath == "":
+			log.Print("-gateway requires -topology")
+			return 2
+		case *mapPath != "" || *snapDir != "" || *liveSpool != "":
+			log.Print("-gateway holds no map; drop -map/-snapshots/-live-spool")
+			return 2
+		}
+		return runGateway(*topoPath, *addr)
+	}
+	if *clusterMode != (*shardSpec != "") {
+		log.Print("-cluster and -shard i/N go together")
+		return 2
+	}
+	if *clusterMode && *topoPath == "" {
+		log.Print("-cluster requires -topology")
+		return 2
+	}
 	if *liveSpool != "" && *snapDir == "" {
 		log.Print("-live-spool requires -snapshots (generations must be published somewhere)")
 		return 2
@@ -87,108 +123,40 @@ func run() int {
 		}
 	}
 
-	// Boot map: the store's CURRENT generation wins; a static -map file is
-	// the fallback; an empty bootstrap map serves misses until the first
-	// generation lands.
-	m := cellmap.Empty("boot")
-	gen := uint64(0)
-	source := "bootstrap (empty)"
-	if store != nil {
-		cur, ok, err := store.Current()
-		if err != nil {
-			log.Print(err)
-			return 2
-		}
-		if ok {
-			lm, err := live.ReadGenerationMap(cur)
-			if err != nil {
-				log.Print(err)
-				return 2
-			}
-			m, gen, source = lm, cur.Seq, cur.Dir
-		}
+	d, source, err := bootDaemon(store, *mapPath, log.Printf)
+	if err != nil {
+		log.Print(err)
+		return 2
 	}
-	if gen == 0 && *mapPath != "" {
-		sm, err := readMapFile(*mapPath)
-		if err != nil {
-			log.Print(err)
-			return 2
-		}
-		m, source = sm, *mapPath
-	}
+	m, gen := d.sw.Current()
 	log.Printf("serving %s: %d prefixes, period %s, generation %d", source, m.Len(), m.Period, gen)
-
-	sw := cellmap.NewSwappable(m, gen)
-	sw.EnableMetrics(reg)
-
-	// reload loads a newer generation (or re-reads the static map file) and
-	// swaps it in. The mutex serializes loaders, not lookups: readers never
-	// block on a reload.
-	var reloadMu sync.Mutex
-	reload := func(force bool) (swapped bool, err error) {
-		reloadMu.Lock()
-		defer reloadMu.Unlock()
-		if store != nil {
-			cur, ok, err := store.Current()
-			if err != nil {
-				return false, err
-			}
-			if ok && (cur.Seq > sw.Generation() || force) {
-				lm, err := live.ReadGenerationMap(cur)
-				if err != nil {
-					return false, err
-				}
-				sw.Swap(lm, cur.Seq)
-				log.Printf("swapped to generation %d: %d prefixes, period %s", cur.Seq, lm.Len(), lm.Period)
-				return true, nil
-			}
-			if ok || *mapPath == "" {
-				return false, nil
-			}
-			// Store exists but is empty: fall through to the static file.
-		}
-		if *mapPath == "" || !force {
-			return false, nil
-		}
-		sm, err := readMapFile(*mapPath)
-		if err != nil {
-			return false, err
-		}
-		sw.Swap(sm, 0)
-		log.Printf("reloaded %s: %d prefixes, period %s", *mapPath, sm.Len(), sm.Period)
-		return true, nil
-	}
+	d.sw.EnableMetrics(reg)
 
 	mux := httpmw.NewMux(reg)
-	cellmap.MountSource(mux, sw)
-	mux.HandleFunc("POST /v1/reload", func(w http.ResponseWriter, r *http.Request) {
-		swapped, err := reload(true)
-		w.Header().Set("Content-Type", "application/json")
+	if *clusterMode {
+		topo, err := cluster.LoadTopology(*topoPath)
 		if err != nil {
-			w.WriteHeader(http.StatusInternalServerError)
-			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-			return
+			log.Print(err)
+			return 2
 		}
-		cur, curGen := sw.Current()
-		json.NewEncoder(w).Encode(map[string]any{
-			"reloaded":   swapped,
-			"generation": curGen,
-			"entries":    cur.Len(),
-			"period":     cur.Period,
-		})
-	})
-	mux.Handle("GET /metrics", reg.Handler())
-
-	srv := &http.Server{
-		Addr:    *addr,
-		Handler: mux,
-		// Lookups are tiny; a slow or stuck client must not pin a handler
-		// goroutine forever.
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       10 * time.Second,
-		WriteTimeout:      10 * time.Second,
-		IdleTimeout:       120 * time.Second,
+		id, err := cluster.ParseShardID(*shardSpec, topo)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		view, err := cluster.NewShardView(d.sw, topo.Ring(), id)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		view.EnableMetrics(reg)
+		cluster.MountShard(mux, view)
+		log.Printf("cluster node: shard %d of %d", id, topo.NumShards())
+	} else {
+		cellmap.MountSource(mux, d.sw)
 	}
+	d.mountReload(mux)
+	mux.Handle("GET /metrics", reg.Handler())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -196,44 +164,15 @@ func run() int {
 	var wg sync.WaitGroup
 	defer wg.Wait()
 
-	// SIGHUP forces a reload, the unix idiom for "pick up the new data".
-	hup := make(chan os.Signal, 1)
-	signal.Notify(hup, syscall.SIGHUP)
-	defer signal.Stop(hup)
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-hup:
-				if _, err := reload(true); err != nil {
-					log.Printf("reload (SIGHUP): %v", err)
-				}
-			}
-		}
-	}()
+	d.watchHUP(ctx, &wg)
 
-	// Store polling picks up generations published by an external updater
-	// (or the embedded one below) without any signal plumbing.
 	if store != nil && *poll > 0 {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			t := time.NewTicker(*poll)
-			defer t.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-t.C:
-					if _, err := reload(false); err != nil {
-						log.Printf("reload (poll): %v", err)
-					}
-				}
-			}
-		}()
+		seed := *jitterSeedFlag
+		if seed == 0 {
+			seed = jitterSeed()
+		}
+		log.Printf("polling store every %v ±10%% (jitter seed %d)", *poll, seed)
+		d.pollStore(ctx, &wg, *poll, seed)
 	}
 
 	// Embedded live refresh: tail the beacond spool and publish generations
@@ -267,10 +206,65 @@ func run() int {
 		}()
 	}
 
+	return serve(ctx, stop, *addr, mux)
+}
+
+// runGateway is the -gateway lifecycle: no map, no store — just the
+// router, its health loop, and metrics.
+func runGateway(topoPath, addr string) int {
+	topo, err := cluster.LoadTopology(topoPath)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	reg := obs.NewRegistry()
+	g, err := cluster.NewGateway(cluster.GatewayConfig{
+		Topology: topo,
+		Registry: reg,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	mux := httpmw.NewMux(reg)
+	g.Mount(mux)
+	mux.Handle("GET /metrics", reg.Handler())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.Run(ctx)
+	}()
+	reps := 0
+	for _, s := range topo.Shards {
+		reps += len(s.Replicas)
+	}
+	log.Printf("gateway over %d shards, %d replicas", topo.NumShards(), reps)
+	return serve(ctx, stop, addr, mux)
+}
+
+// serve runs the HTTP server until ctx is done or the listener fails,
+// then drains in-flight requests.
+func serve(ctx context.Context, stop context.CancelFunc, addr string, handler http.Handler) int {
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: handler,
+		// Lookups are tiny; a slow or stuck client must not pin a handler
+		// goroutine forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	exit := 0
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
+		log.Printf("listening on %s", addr)
 		errc <- srv.ListenAndServe()
 	}()
 	select {
@@ -290,16 +284,6 @@ func run() int {
 	}
 	stop() // unblock the signal/poll/updater goroutines before wg.Wait
 	return exit
-}
-
-// readMapFile loads a static exported map.
-func readMapFile(path string) (*cellmap.Map, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return cellmap.Read(f)
 }
 
 // liveInputs derives the live refresh loop's side inputs — DEMAND weights,

@@ -1,0 +1,184 @@
+package cellmap
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postBatch(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/lookup/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestBatchLookup(t *testing.T) {
+	srv, m := testServer(t)
+	resp, body := postBatch(t, srv.URL, `{"ips":["10.0.1.9","203.0.113.9","2001:db8::42"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(br.Results))
+	}
+	if !br.Results[0].Cellular || br.Results[0].Prefix != "10.0.0.0/23" {
+		t.Errorf("result[0] = %+v", br.Results[0])
+	}
+	if br.Results[1].Cellular {
+		t.Errorf("non-cellular address reported cellular: %+v", br.Results[1])
+	}
+	if !br.Results[2].Cellular || br.Results[2].ASN != 2 {
+		t.Errorf("result[2] = %+v", br.Results[2])
+	}
+	// Every result agrees with a direct single lookup against the same map.
+	for _, r := range br.Results {
+		var single LookupResponse
+		if code := getJSON(t, srv.URL+"/v1/lookup?ip="+r.Addr, &single); code != http.StatusOK {
+			t.Fatalf("single lookup %s: status %d", r.Addr, code)
+		}
+		if single != r {
+			t.Errorf("batch and single answers differ for %s: %+v vs %+v", r.Addr, r, single)
+		}
+	}
+	_ = m
+}
+
+func TestBatchErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"malformed json", `{nope`, http.StatusBadRequest},
+		{"empty batch", `{"ips":[]}`, http.StatusBadRequest},
+		{"missing ips", `{}`, http.StatusBadRequest},
+		{"bad address", `{"ips":["10.0.0.1","not-an-ip"]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, body := postBatch(t, srv.URL, tc.body)
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.code)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type = %q", tc.name, ct)
+		}
+		var e ErrorResponse
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q not the JSON convention (%v)", tc.name, body, err)
+		}
+	}
+}
+
+// TestBatchOverflow pins the request-size cap: one address over
+// DefaultBatchLimit must yield 413 with a JSON error body naming the limit.
+func TestBatchOverflow(t *testing.T) {
+	srv, _ := testServer(t)
+	ips := make([]string, DefaultBatchLimit+1)
+	for i := range ips {
+		ips[i] = fmt.Sprintf("10.%d.%d.%d", i>>16&255, i>>8&255, i&255)
+	}
+	body, err := json.Marshal(BatchRequest{IPs: ips})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, raw := postBatch(t, srv.URL, string(body))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatalf("413 body is not JSON: %v", err)
+	}
+	if !strings.Contains(e.Error, fmt.Sprint(DefaultBatchLimit)) {
+		t.Errorf("413 body does not name the limit: %q", e.Error)
+	}
+
+	// Exactly at the limit is served.
+	okBody, err := json.Marshal(BatchRequest{IPs: ips[:DefaultBatchLimit]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, raw2 := postBatch(t, srv.URL, string(okBody))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("at-limit batch: status = %d: %s", resp2.StatusCode, raw2)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(raw2, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != DefaultBatchLimit {
+		t.Errorf("at-limit results = %d", len(br.Results))
+	}
+}
+
+// TestBatchBodyCap drives the byte-size bound independently of the address
+// count: a huge body must be cut off with 413, not buffered wholesale.
+func TestBatchBodyCap(t *testing.T) {
+	srv, _ := testServer(t)
+	huge := `{"ips":["` + strings.Repeat("x", maxBatchBody+1024) + `"]}`
+	resp, raw := postBatch(t, srv.URL, huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 (%s)", resp.StatusCode, raw)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+		t.Errorf("413 body %q not the JSON convention (%v)", raw, err)
+	}
+}
+
+// TestBatchGenerationConsistency checks that one batch response never mixes
+// generations: all results carry the response generation even when swaps
+// race the request.
+func TestBatchGenerationConsistency(t *testing.T) {
+	m, err := Build(0.5, "2016-12", fixtureInputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSwappable(m, 1)
+	mux := http.NewServeMux()
+	MountSource(mux, sw)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for gen := uint64(2); gen < 200; gen++ {
+			sw.Swap(m, gen)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		resp, raw := postBatch(t, srv.URL, `{"ips":["10.0.1.9","10.0.4.7","2001:db8::1"]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		var br BatchResponse
+		if err := json.Unmarshal(raw, &br); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range br.Results {
+			if r.Generation != br.Generation {
+				t.Fatalf("mixed generations in one batch: result %d vs response %d",
+					r.Generation, br.Generation)
+			}
+		}
+	}
+	<-done
+}

@@ -208,6 +208,11 @@ func Read(r io.Reader) (*Map, error) {
 		if !e.Prefix.IsValid() {
 			return nil, fmt.Errorf("cellmap: line %d: invalid prefix", line)
 		}
+		// Canonical form only: a prefix with host bits set would collide
+		// with its masked twin in the index while comparing unequal here.
+		if e.Prefix != e.Prefix.Masked() {
+			return nil, fmt.Errorf("cellmap: line %d: prefix %s has host bits set", line, e.Prefix)
+		}
 		m.entries = append(m.entries, e)
 	}
 	if err := sc.Err(); err != nil {
@@ -218,6 +223,14 @@ func Read(r io.Reader) (*Map, error) {
 			hdr.Entries, len(m.entries))
 	}
 	m.sortEntries()
+	// Duplicate prefixes would silently shadow each other in the index
+	// (last insert wins), so a corrupt or hand-edited file could serve
+	// whichever entry happened to sort last. Reject instead of guessing.
+	for i := 1; i < len(m.entries); i++ {
+		if m.entries[i].Prefix == m.entries[i-1].Prefix {
+			return nil, fmt.Errorf("cellmap: duplicate block %s", m.entries[i].Prefix)
+		}
+	}
 	m.index()
 	return m, nil
 }

@@ -159,6 +159,48 @@ func TestReadRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestReadRejectsDuplicateBlock is the regression test for the silent
+// last-wins shadowing bug: a file carrying the same block twice used to be
+// accepted, with whichever entry sorted last winning the index. Read must
+// instead fail, naming the duplicated block.
+func TestReadRejectsDuplicateBlock(t *testing.T) {
+	in := `{"format":"cellspot-map/1","entries":3}` + "\n" +
+		`{"prefix":"10.0.0.0/24","asn":1,"du":5}` + "\n" +
+		`{"prefix":"10.0.1.0/24","asn":1,"du":6}` + "\n" +
+		`{"prefix":"10.0.0.0/24","asn":2,"du":7}` + "\n"
+	_, err := Read(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("duplicate block accepted")
+	}
+	if !strings.Contains(err.Error(), "duplicate block 10.0.0.0/24") {
+		t.Errorf("error does not name the duplicate block: %v", err)
+	}
+
+	// Nested (non-identical) prefixes remain legal: longest-prefix match
+	// disambiguates them, so they are not duplicates.
+	nested := `{"format":"cellspot-map/1","entries":2}` + "\n" +
+		`{"prefix":"10.0.0.0/23","asn":1}` + "\n" +
+		`{"prefix":"10.0.0.0/24","asn":2}` + "\n"
+	if _, err := Read(strings.NewReader(nested)); err != nil {
+		t.Errorf("nested prefixes rejected: %v", err)
+	}
+}
+
+// TestReadRejectsHostBits covers the companion hole: a prefix with host
+// bits set would collide with its masked twin in the index while escaping
+// an exact-equality duplicate check.
+func TestReadRejectsHostBits(t *testing.T) {
+	in := `{"format":"cellspot-map/1","entries":1}` + "\n" +
+		`{"prefix":"10.0.0.7/24","asn":1}` + "\n"
+	_, err := Read(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("non-canonical prefix accepted")
+	}
+	if !strings.Contains(err.Error(), "host bits") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
 func TestBuildEmpty(t *testing.T) {
 	in := fixtureInputs(t)
 	in.Detected = netaddr.NewSet()

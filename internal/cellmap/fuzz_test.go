@@ -16,6 +16,27 @@ func FuzzRead(f *testing.F) {
 	f.Add("")
 	f.Add("{garbage")
 	f.Add(`{"format":"cellspot-map/1","entries":2}` + "\n" + `{"prefix":"2001:db8::/48"}` + "\n")
+	// Duplicate block: must be rejected, never silently last-wins.
+	f.Add(`{"format":"cellspot-map/1","entries":2}` + "\n" +
+		`{"prefix":"10.0.0.0/24","asn":1}` + "\n" + `{"prefix":"10.0.0.0/24","asn":2}` + "\n")
+	// Non-canonical prefix (host bits set): rejected, would shadow its
+	// masked twin in the index.
+	f.Add(`{"format":"cellspot-map/1","entries":1}` + "\n" + `{"prefix":"10.0.0.9/24","asn":1}` + "\n")
+	// Nested prefixes: legal, resolved by longest-prefix match.
+	f.Add(`{"format":"cellspot-map/1","entries":2}` + "\n" +
+		`{"prefix":"10.0.0.0/23","asn":1}` + "\n" + `{"prefix":"10.0.0.0/24","asn":2}` + "\n")
+	// Unsorted input: Read must sort before indexing and dup-checking.
+	f.Add(`{"format":"cellspot-map/1","entries":3}` + "\n" +
+		`{"prefix":"10.0.2.0/24","asn":3}` + "\n" + `{"prefix":"10.0.0.0/24","asn":1}` + "\n" +
+		`{"prefix":"10.0.1.0/24","asn":2}` + "\n")
+	// Blank interior lines are tolerated; header count still enforced.
+	f.Add(`{"format":"cellspot-map/1","entries":1}` + "\n\n" + `{"prefix":"192.0.2.0/24","asn":7}` + "\n\n")
+	// Header promising more entries than the body delivers (truncation).
+	f.Add(`{"format":"cellspot-map/1","entries":9}` + "\n" + `{"prefix":"10.0.0.0/24","asn":1}` + "\n")
+	// Mixed-family body with v6 metadata fields.
+	f.Add(`{"format":"cellspot-map/1","entries":2}` + "\n" +
+		`{"prefix":"2001:db8:5::/48","asn":64512,"country":"DE","ratio":0.75,"du":12.5}` + "\n" +
+		`{"prefix":"198.51.100.0/24","asn":64513,"ratio":1}` + "\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		m, err := Read(strings.NewReader(in))
 		if err != nil {

@@ -2,6 +2,8 @@ package cellmap
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"net/netip"
 )
@@ -15,7 +17,32 @@ type LookupResponse struct {
 	Country  string  `json:"country,omitempty"`
 	Ratio    float64 `json:"ratio,omitempty"`
 	DU       float64 `json:"du,omitempty"`
+	// Generation is the map generation the answer was resolved against;
+	// 0 for a statically loaded map. In a sharded cluster it lets clients
+	// (and the gateway's consistency guard) see which snapshot answered.
+	Generation uint64 `json:"generation,omitempty"`
 }
+
+// BatchRequest is the body of POST /v1/lookup/batch.
+type BatchRequest struct {
+	IPs []string `json:"ips"`
+}
+
+// BatchResponse answers a batch lookup. Every result was resolved against
+// the single map generation named in Generation — a batch never mixes
+// generations, whether answered by one node or scatter-gathered across a
+// cluster.
+type BatchResponse struct {
+	Generation uint64           `json:"generation"`
+	Results    []LookupResponse `json:"results"`
+}
+
+// DefaultBatchLimit caps how many addresses one batch request may carry.
+const DefaultBatchLimit = 1024
+
+// maxBatchBody bounds the batch request body; at the address-count cap a
+// request is far below this, so hitting it means a hostile or broken client.
+const maxBatchBody = 1 << 20
 
 // ErrorResponse is the JSON body of every non-2xx answer: clients of a
 // JSON API get JSON on the error path too, with the same Content-Type.
@@ -50,8 +77,9 @@ func MountRoutes(r Router, m *Map) {
 // MountSource registers the lookup service's routes on r — the lookup
 // microservice a CDN would put in front of the published dataset:
 //
-//	GET /v1/lookup?ip=ADDR — per-address cellular lookup
-//	GET /v1/info           — dataset metadata, including the generation
+//	GET  /v1/lookup?ip=ADDR — per-address cellular lookup
+//	POST /v1/lookup/batch   — many addresses, one generation
+//	GET  /v1/info           — dataset metadata, including the generation
 //
 // Every request resolves src.Current() exactly once and answers entirely
 // from that map, so a concurrent hot swap can never make one response mix
@@ -59,31 +87,34 @@ func MountRoutes(r Router, m *Map) {
 // for any number of concurrent requests.
 func MountSource(r Router, src Source) {
 	r.HandleFunc("GET /v1/lookup", func(w http.ResponseWriter, r *http.Request) {
-		q := r.URL.Query().Get("ip")
-		if q == "" {
-			writeError(w, http.StatusBadRequest, "missing ip parameter")
+		addr, ok := parseLookupAddr(w, r)
+		if !ok {
 			return
 		}
-		addr, err := netip.ParseAddr(q)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad ip: "+err.Error())
-			return
-		}
-		m, _ := src.Current()
-		resp := LookupResponse{Addr: addr.String()}
-		if e, ok := m.Lookup(addr); ok {
-			resp.Cellular = true
-			resp.Prefix = e.Prefix.String()
-			resp.ASN = e.ASN
-			resp.Country = e.Country
-			resp.Ratio = e.Ratio
-			resp.DU = e.DU
-		}
-		writeJSON(w, resp)
+		m, gen := src.Current()
+		WriteJSON(w, LookupAddr(m, gen, addr))
 	})
+	r.HandleFunc("POST /v1/lookup/batch", func(w http.ResponseWriter, r *http.Request) {
+		addrs, ok := DecodeBatch(w, r, DefaultBatchLimit)
+		if !ok {
+			return
+		}
+		m, gen := src.Current()
+		resp := BatchResponse{Generation: gen, Results: make([]LookupResponse, 0, len(addrs))}
+		for _, a := range addrs {
+			resp.Results = append(resp.Results, LookupAddr(m, gen, a))
+		}
+		WriteJSON(w, resp)
+	})
+	MountInfo(r, src)
+}
+
+// MountInfo registers only GET /v1/info; cluster shard nodes mount it next
+// to their partition-filtered lookup routes.
+func MountInfo(r Router, src Source) {
 	r.HandleFunc("GET /v1/info", func(w http.ResponseWriter, _ *http.Request) {
 		m, gen := src.Current()
-		writeJSON(w, Info{
+		WriteJSON(w, Info{
 			Format:     formatName,
 			Period:     m.Period,
 			Threshold:  m.Threshold,
@@ -94,6 +125,79 @@ func MountSource(r Router, src Source) {
 	})
 }
 
+// LookupAddr resolves one address against m and shapes the service answer,
+// stamped with the generation m belongs to.
+func LookupAddr(m *Map, gen uint64, addr netip.Addr) LookupResponse {
+	resp := LookupResponse{Addr: addr.String(), Generation: gen}
+	if e, ok := m.Lookup(addr); ok {
+		resp.Cellular = true
+		resp.Prefix = e.Prefix.String()
+		resp.ASN = e.ASN
+		resp.Country = e.Country
+		resp.Ratio = e.Ratio
+		resp.DU = e.DU
+	}
+	return resp
+}
+
+// parseLookupAddr extracts and validates the ip query parameter, answering
+// the error itself (JSON body, like every error path) when absent or bad.
+func parseLookupAddr(w http.ResponseWriter, r *http.Request) (netip.Addr, bool) {
+	q := r.URL.Query().Get("ip")
+	if q == "" {
+		WriteError(w, http.StatusBadRequest, "missing ip parameter")
+		return netip.Addr{}, false
+	}
+	addr, err := netip.ParseAddr(q)
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, "bad ip: "+err.Error())
+		return netip.Addr{}, false
+	}
+	return addr, true
+}
+
+// DecodeBatch reads and validates a batch lookup body, enforcing the
+// address-count cap and the body-size bound. On any failure it writes the
+// JSON error response itself — 413 on overflow, 400 otherwise — and
+// returns ok=false. Shared by the single-node handler, shard nodes, and
+// the gateway so every tier speaks the identical wire format.
+func DecodeBatch(w http.ResponseWriter, r *http.Request, limit int) ([]netip.Addr, bool) {
+	if limit <= 0 {
+		limit = DefaultBatchLimit
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			WriteError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("batch body exceeds %d bytes", tooBig.Limit))
+			return nil, false
+		}
+		WriteError(w, http.StatusBadRequest, "bad batch request: "+err.Error())
+		return nil, false
+	}
+	if len(req.IPs) == 0 {
+		WriteError(w, http.StatusBadRequest, "empty batch: body must carry a non-empty ips array")
+		return nil, false
+	}
+	if len(req.IPs) > limit {
+		WriteError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d addresses exceeds limit %d", len(req.IPs), limit))
+		return nil, false
+	}
+	addrs := make([]netip.Addr, 0, len(req.IPs))
+	for i, s := range req.IPs {
+		a, err := netip.ParseAddr(s)
+		if err != nil {
+			WriteError(w, http.StatusBadRequest, fmt.Sprintf("bad ip at index %d: %v", i, err))
+			return nil, false
+		}
+		addrs = append(addrs, a)
+	}
+	return addrs, true
+}
+
 // Handler serves a cellular map on a plain mux; see MountRoutes.
 func Handler(m *Map) http.Handler {
 	mux := http.NewServeMux()
@@ -101,20 +205,21 @@ func Handler(m *Map) http.Handler {
 	return mux
 }
 
-// writeJSON marshals v before touching the ResponseWriter, so an encoding
+// WriteJSON marshals v before touching the ResponseWriter, so an encoding
 // failure can still produce a well-formed 500 instead of a half-written
 // 200.
-func writeJSON(w http.ResponseWriter, v any) {
+func WriteJSON(w http.ResponseWriter, v any) {
 	body, err := json.Marshal(v)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "encoding response: "+err.Error())
+		WriteError(w, http.StatusInternalServerError, "encoding response: "+err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(append(body, '\n'))
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
+// WriteError answers with the service's JSON error body convention.
+func WriteError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(ErrorResponse{Error: msg})

@@ -90,7 +90,7 @@ func TestHandlerLookupErrors(t *testing.T) {
 // half-written 200 or a text/plain fallback.
 func TestWriteJSONEncodeFailure(t *testing.T) {
 	rec := httptest.NewRecorder()
-	writeJSON(rec, make(chan int))
+	WriteJSON(rec, make(chan int))
 	if rec.Code != http.StatusInternalServerError {
 		t.Errorf("status = %d, want 500", rec.Code)
 	}

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"cellspot/internal/cellmap"
+)
+
+// BenchmarkGatewayBatch measures scatter-gather batch lookup throughput
+// through the full HTTP path: gateway fan-out to a 3-shard × 2-replica
+// in-process fleet and merge, 128 addresses per batch. Reported addrs/s
+// is the end-to-end lookup rate one gateway sustains serially; concurrent
+// clients scale it until the fleet saturates.
+func BenchmarkGatewayBatch(b *testing.B) {
+	m := mkMap(b, "2016-12", genTwoEntries())
+	f := newTestFleet(b, 3, 2, m, 1)
+	g, srv, _ := f.gateway(b, nil)
+	g.CheckNow(context.Background())
+
+	const batchSize = 128
+	ips := make([]string, batchSize)
+	for i := range ips {
+		ips[i] = fmt.Sprintf("10.0.%d.%d", i%16, i)
+	}
+	payload, err := json.Marshal(cellmap.BatchRequest{IPs: ips})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(srv.URL+"/v1/lookup/batch", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(batchSize*b.N)/b.Elapsed().Seconds(), "addrs/s")
+}

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/netip"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cellspot/internal/cellmap"
+)
+
+// TestClusterE2E is the acceptance test of the serving cluster: a
+// 3-shard × 2-replica in-process fleet takes concurrent single and batch
+// traffic through a gateway while one replica hot-swaps a generation
+// ahead of the fleet, the rest roll forward, and one replica is killed
+// outright. Every 200 answer must match the dataset of the generation it
+// claims — zero wrong answers — and every batch must be internally
+// uniform — zero mixed generations. Run under -race in CI.
+func TestClusterE2E(t *testing.T) {
+	m1 := mkMap(t, "2016-12", genOneEntries())
+	m2 := mkMap(t, "2017-01", genTwoEntries())
+	maps := map[uint64]*cellmap.Map{1: m1, 2: m2}
+
+	// Ground truth per generation and address.
+	expected := map[uint64]map[netip.Addr]cellmap.LookupResponse{1: {}, 2: {}}
+	for gen, m := range maps {
+		for _, a := range coveredAddrs() {
+			expected[gen][a] = cellmap.LookupAddr(m, gen, a)
+		}
+	}
+
+	f := newTestFleet(t, 3, 2, m1, 1)
+	g, srv, _ := f.gateway(t, func(c *GatewayConfig) {
+		c.HedgeDelay = 10 * time.Millisecond
+		c.Backoff = 5 * time.Millisecond
+		c.HealthInterval = 20 * time.Millisecond
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	healthDone := make(chan struct{})
+	go func() {
+		defer close(healthDone)
+		g.Run(ctx)
+	}()
+
+	// Wait for the health view to see the whole fleet.
+	waitFor(t, time.Second, func() bool {
+		for _, r := range g.Health().Replicas {
+			if !r.Up {
+				return false
+			}
+		}
+		return true
+	})
+
+	var (
+		stop        = make(chan struct{})
+		wg          sync.WaitGroup
+		singleOK    atomic.Int64
+		batchOKGen1 atomic.Int64
+		batchOKGen2 atomic.Int64
+		tolerated   atomic.Int64 // 5xx during the transition window
+	)
+	addrs := coveredAddrs()
+	client := &http.Client{Timeout: 2 * time.Second}
+
+	checkResult := func(kind string, gen uint64, r cellmap.LookupResponse) {
+		a, err := netip.ParseAddr(r.Addr)
+		if err != nil {
+			t.Errorf("%s: unparseable addr %q in answer", kind, r.Addr)
+			return
+		}
+		want, known := expected[gen][a]
+		if !known {
+			t.Errorf("%s: answer claims unknown generation %d", kind, gen)
+			return
+		}
+		if r != want {
+			t.Errorf("%s: WRONG ANSWER for %s at generation %d: got %+v, want %+v",
+				kind, a, gen, r, want)
+		}
+	}
+
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 99))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a := addrs[rng.IntN(len(addrs))]
+				resp, err := client.Get(srv.URL + "/v1/lookup?ip=" + a.String())
+				if err != nil {
+					t.Errorf("single lookup transport error: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					var lr cellmap.LookupResponse
+					if err := json.Unmarshal(body, &lr); err != nil {
+						t.Errorf("single lookup bad body: %v", err)
+						return
+					}
+					checkResult("single", lr.Generation, lr)
+					singleOK.Add(1)
+				case resp.StatusCode >= 500:
+					tolerated.Add(1) // replica churn; never a wrong answer
+				default:
+					t.Errorf("single lookup status %d: %s", resp.StatusCode, body)
+					return
+				}
+			}
+		}(uint64(w + 1))
+	}
+
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, 7))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Random non-empty subset, shuffled, spanning shards.
+				n := 1 + rng.IntN(len(addrs))
+				perm := rng.Perm(len(addrs))[:n]
+				ips := make([]string, n)
+				for i, idx := range perm {
+					ips[i] = addrs[idx].String()
+				}
+				payload, err := json.Marshal(cellmap.BatchRequest{IPs: ips})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := client.Post(srv.URL+"/v1/lookup/batch", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					t.Errorf("batch transport error: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					var br cellmap.BatchResponse
+					if err := json.Unmarshal(body, &br); err != nil {
+						t.Errorf("batch bad body: %v", err)
+						return
+					}
+					if len(br.Results) != n {
+						t.Errorf("batch: %d results for %d addresses", len(br.Results), n)
+						return
+					}
+					for _, r := range br.Results {
+						if r.Generation != br.Generation {
+							t.Errorf("MIXED-GENERATION BATCH: result at %d inside response at %d",
+								r.Generation, br.Generation)
+						}
+						checkResult("batch", br.Generation, r)
+					}
+					switch br.Generation {
+					case 1:
+						batchOKGen1.Add(1)
+					case 2:
+						batchOKGen2.Add(1)
+					default:
+						t.Errorf("batch at unknown generation %d", br.Generation)
+					}
+				case resp.StatusCode >= 500:
+					tolerated.Add(1) // generation split or dead replica
+				default:
+					t.Errorf("batch status %d: %s", resp.StatusCode, body)
+					return
+				}
+			}
+		}(uint64(w + 50))
+	}
+
+	// Phase 1: steady state at generation 1.
+	time.Sleep(80 * time.Millisecond)
+
+	// Phase 2: hot-swap one replica a full generation ahead of the fleet
+	// — the gateway must keep batches uniform while shard 0's replicas
+	// disagree with the rest of the fleet.
+	f.swap(0, 0, m2, 2)
+	time.Sleep(60 * time.Millisecond)
+
+	// Phase 3: roll the rest of the fleet forward, staggered.
+	for _, rj := range [][2]int{{0, 1}, {1, 0}, {1, 1}, {2, 0}} {
+		f.swap(rj[0], rj[1], m2, 2)
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Phase 4: kill the straggler replica outright mid-traffic; shard 2
+	// keeps serving from its surviving replica.
+	f.kill(2, 1)
+	time.Sleep(120 * time.Millisecond)
+
+	close(stop)
+	wg.Wait()
+	cancel()
+	<-healthDone
+
+	if singleOK.Load() == 0 {
+		t.Error("no single lookups succeeded")
+	}
+	if batchOKGen1.Load() == 0 {
+		t.Error("no batch succeeded at generation 1 (traffic never observed the old generation)")
+	}
+	if batchOKGen2.Load() == 0 {
+		t.Error("no batch succeeded at generation 2 (traffic never observed the new generation)")
+	}
+	t.Logf("singles ok=%d, batches ok gen1=%d gen2=%d, tolerated 5xx=%d",
+		singleOK.Load(), batchOKGen1.Load(), batchOKGen2.Load(), tolerated.Load())
+
+	// The fleet's steady state after the storm: every surviving replica
+	// up at generation 2, the killed one down.
+	waitFor(t, 2*time.Second, func() bool {
+		h := g.Health()
+		for _, r := range h.Replicas {
+			dead := r.Shard == 2 && r.Replica == 1
+			if dead && r.Up {
+				return false
+			}
+			if !dead && (!r.Up || r.Generation != 2) {
+				return false
+			}
+		}
+		return h.QuorumGeneration == 2
+	})
+
+	// Acceptance: the gateway metrics are on /metrics.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, fam := range []string{
+		`cluster_shard_requests_total{shard="0"}`,
+		`cluster_shard_requests_total{shard="2"}`,
+		`cluster_shard_errors_total{shard="2"}`,
+		`cluster_hedged_requests_total{shard="0"}`,
+		"cluster_fanout_seconds_bucket",
+		"cluster_generation_conflicts_total",
+		`cluster_replica_up{replica="1",shard="2"} 0`,
+		`cluster_replica_generation{replica="0",shard="1"} 2`,
+	} {
+		if !strings.Contains(string(metrics), fam) {
+			t.Errorf("metric %q missing from gateway /metrics", fam)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t testing.TB, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached within %v", d)
+}

@@ -1,0 +1,572 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cellspot/internal/cellmap"
+	"cellspot/internal/obs"
+)
+
+// GatewayConfig parameterizes a Gateway. Zero values take the defaults
+// noted per field.
+type GatewayConfig struct {
+	// Topology describes the fleet (required, must validate).
+	Topology Topology
+	// Client issues all shard traffic. Default: 2s total timeout.
+	Client *http.Client
+	// Registry receives the gateway metrics; nil disables them.
+	Registry *obs.Registry
+	// Attempts is how many full replica passes a request gets before the
+	// gateway gives up on a shard. Default 2.
+	Attempts int
+	// Backoff is the sleep before the second pass, doubling per pass.
+	// Default 25ms.
+	Backoff time.Duration
+	// HedgeDelay is the wait before hedging to the next replica while the
+	// shard's latency tracker is still cold. Once warm, the shard's p95
+	// (clamped to [1ms, 250ms]) replaces it. Default 25ms.
+	HedgeDelay time.Duration
+	// BatchLimit caps batch fan-out requests. Default
+	// cellmap.DefaultBatchLimit.
+	BatchLimit int
+	// GenRounds is how many reconciliation rounds a mixed-generation
+	// batch gets before failing. Default 3.
+	GenRounds int
+	// HealthInterval is the health-check cadence. Default 1s.
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe. Default 500ms.
+	HealthTimeout time.Duration
+	// Logf receives operational log lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (c *GatewayConfig) fillDefaults() {
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 2 * time.Second}
+	}
+	if c.Attempts <= 0 {
+		c.Attempts = 2
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 25 * time.Millisecond
+	}
+	if c.HedgeDelay <= 0 {
+		c.HedgeDelay = 25 * time.Millisecond
+	}
+	if c.BatchLimit <= 0 {
+		c.BatchLimit = cellmap.DefaultBatchLimit
+	}
+	if c.GenRounds <= 0 {
+		c.GenRounds = 3
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 500 * time.Millisecond
+	}
+}
+
+// Gateway fronts the shard fleet: it owns the routing decision (via the
+// ring), replica selection, retries, hedging, and the batch
+// scatter-gather with its generation-consistency guard. Gateways are
+// stateless with respect to the dataset — they hold no map, only the
+// topology and a continuously refreshed health view — so any number of
+// them can run behind a load balancer.
+type Gateway struct {
+	cfg      GatewayConfig
+	ring     *Ring
+	replicas [][]*replica // [shard][replica]
+	rr       []atomic.Uint64
+	lat      []*latencyTracker
+
+	mRequests  []*obs.Counter // per shard
+	mErrors    []*obs.Counter
+	mHedges    []*obs.Counter
+	mFanout    *obs.Histogram
+	mConflicts *obs.Counter
+}
+
+// NewGateway validates the topology and builds a gateway. Call Run (or
+// CheckNow) to populate the health view; until then every replica counts
+// as down and requests fall back to blind ordering.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	g := &Gateway{
+		cfg:  cfg,
+		ring: cfg.Topology.Ring(),
+		rr:   make([]atomic.Uint64, cfg.Topology.NumShards()),
+		lat:  make([]*latencyTracker, cfg.Topology.NumShards()),
+	}
+	reg := cfg.Registry
+	g.mFanout = reg.Histogram("cluster_fanout_seconds",
+		"Batch scatter-gather wall time in seconds.", obs.DefBuckets)
+	g.mConflicts = reg.Counter("cluster_generation_conflicts_total",
+		"Batch rounds that observed mixed shard generations.")
+	for s, spec := range cfg.Topology.Shards {
+		g.lat[s] = &latencyTracker{}
+		label := obs.L("shard", strconv.Itoa(s))
+		g.mRequests = append(g.mRequests, reg.Counter("cluster_shard_requests_total",
+			"Requests sent to shard replicas.", label))
+		g.mErrors = append(g.mErrors, reg.Counter("cluster_shard_errors_total",
+			"Failed requests to shard replicas.", label))
+		g.mHedges = append(g.mHedges, reg.Counter("cluster_hedged_requests_total",
+			"Hedge requests fired after the latency threshold.", label))
+		var reps []*replica
+		for j, u := range spec.Replicas {
+			rep := &replica{
+				shard: s,
+				index: j,
+				url:   strings.TrimSuffix(u, "/"),
+				mUp: reg.Gauge("cluster_replica_up",
+					"1 when the replica's last health probe succeeded.",
+					label, obs.L("replica", strconv.Itoa(j))),
+				mGen: reg.Gauge("cluster_replica_generation",
+					"Map generation the replica last reported.",
+					label, obs.L("replica", strconv.Itoa(j))),
+			}
+			reps = append(reps, rep)
+		}
+		g.replicas = append(g.replicas, reps)
+	}
+	return g, nil
+}
+
+// Ring exposes the gateway's partitioning (shared with shard nodes).
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// replicaOrder ranks a shard's replicas for one request: healthy replicas
+// at or above minGen first, then healthy laggards, then everything else —
+// each class rotated round-robin so load spreads across equals. minGen 0
+// means "any generation".
+func (g *Gateway) replicaOrder(shard int, minGen uint64) []*replica {
+	reps := g.replicas[shard]
+	n := len(reps)
+	start := int(g.rr[shard].Add(1)) % n
+	order := make([]*replica, 0, n)
+	for class := 0; class < 3 && len(order) < n; class++ {
+		for k := 0; k < n; k++ {
+			rep := reps[(start+k)%n]
+			up := rep.up.Load()
+			var c int
+			switch {
+			case up && rep.gen.Load() >= minGen:
+				c = 0
+			case up:
+				c = 1
+			default:
+				c = 2
+			}
+			if c == class {
+				order = append(order, rep)
+			}
+		}
+	}
+	return order
+}
+
+// tryResult is one replica attempt's outcome.
+type tryResult struct {
+	status int
+	body   []byte
+	err    error
+	rep    *replica
+	dur    time.Duration
+}
+
+// issueOne sends build(rep) and reports into ch.
+func (g *Gateway) issueOne(ctx context.Context, rep *replica, build func(url string) (*http.Request, error), ch chan<- tryResult) {
+	g.mRequests[rep.shard].Inc()
+	start := time.Now()
+	req, err := build(rep.url)
+	if err != nil {
+		ch <- tryResult{err: err, rep: rep}
+		return
+	}
+	resp, err := g.cfg.Client.Do(req.WithContext(ctx))
+	if err != nil {
+		ch <- tryResult{err: err, rep: rep}
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		ch <- tryResult{err: err, rep: rep}
+		return
+	}
+	ch <- tryResult{status: resp.StatusCode, body: body, rep: rep, dur: time.Since(start)}
+}
+
+// ok reports whether an attempt's answer should be served. 4xx answers
+// other than 421 are served (they are the client's error); 421 means the
+// fleet disagrees about ownership and trying another replica is useless
+// but serving it would be wrong, so it counts as a failure. 5xx and
+// transport errors count as failures and move on to the next replica.
+func (t tryResult) ok() bool {
+	return t.err == nil && t.status < 500 && t.status != http.StatusMisdirectedRequest
+}
+
+// hedgedTry runs one pass over order: fire the first replica, hedge to
+// the next after the shard's hedge delay, and keep escalating — each
+// subsequent hedge waits the same delay. The first serveable answer wins;
+// losers are abandoned (their goroutines drain on their own).
+func (g *Gateway) hedgedTry(ctx context.Context, shard int, order []*replica, build func(url string) (*http.Request, error)) (tryResult, bool) {
+	if len(order) == 0 {
+		return tryResult{}, false
+	}
+	ch := make(chan tryResult, len(order))
+	launched := 1
+	go g.issueOne(ctx, order[0], build, ch)
+
+	delay := g.hedgeDelay(shard)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	failed := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return tryResult{err: ctx.Err()}, false
+		case <-timer.C:
+			if launched < len(order) {
+				g.mHedges[shard].Inc()
+				go g.issueOne(ctx, order[launched], build, ch)
+				launched++
+				timer.Reset(delay)
+			}
+		case res := <-ch:
+			if res.ok() {
+				res.rep.fails.Store(0)
+				g.lat[shard].observe(res.dur)
+				return res, true
+			}
+			g.mErrors[shard].Inc()
+			res.rep.fails.Add(1)
+			if res.err != nil {
+				// Transport-level failure: flip the health view now
+				// instead of waiting for the next probe.
+				g.markDown(res.rep)
+			}
+			failed++
+			if launched < len(order) {
+				// Skip the hedge wait: we know the last try failed.
+				go g.issueOne(ctx, order[launched], build, ch)
+				launched++
+			} else if failed == launched {
+				return res, false
+			}
+		}
+	}
+}
+
+// forward routes one request to a shard with retries, backoff, and
+// hedging. minGen biases replica choice toward replicas at or above that
+// generation.
+func (g *Gateway) forward(ctx context.Context, shard int, minGen uint64, build func(url string) (*http.Request, error)) (tryResult, error) {
+	var last tryResult
+	for attempt := 0; attempt < g.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			backoff := g.cfg.Backoff << (attempt - 1)
+			select {
+			case <-ctx.Done():
+				return tryResult{}, ctx.Err()
+			case <-time.After(backoff):
+			}
+		}
+		res, ok := g.hedgedTry(ctx, shard, g.replicaOrder(shard, minGen), build)
+		if ok {
+			return res, nil
+		}
+		last = res
+	}
+	if last.err != nil {
+		return tryResult{}, fmt.Errorf("shard %d unavailable: %w", shard, last.err)
+	}
+	return tryResult{}, fmt.Errorf("shard %d unavailable: last status %d", shard, last.status)
+}
+
+// hedgeDelay picks the hedge threshold for a shard: its observed p95 once
+// the tracker is warm, the configured default until then.
+func (g *Gateway) hedgeDelay(shard int) time.Duration {
+	if p95, ok := g.lat[shard].p95(); ok {
+		return clampDuration(p95, time.Millisecond, 250*time.Millisecond)
+	}
+	return g.cfg.HedgeDelay
+}
+
+func clampDuration(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
+// Lookup routes one address to its owning shard and returns the shard's
+// raw answer (status + body), ready to proxy.
+func (g *Gateway) Lookup(ctx context.Context, addr netip.Addr) (int, []byte, error) {
+	shard := g.ring.Owner(addr)
+	res, err := g.forward(ctx, shard, 0, func(url string) (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url+"/v1/lookup?ip="+addr.String(), nil)
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.status, res.body, nil
+}
+
+// shardFetch posts one sub-batch to a shard and decodes the answer.
+func (g *Gateway) shardFetch(ctx context.Context, shard int, minGen uint64, addrs []netip.Addr) (cellmap.BatchResponse, error) {
+	ips := make([]string, len(addrs))
+	for i, a := range addrs {
+		ips[i] = a.String()
+	}
+	payload, err := json.Marshal(cellmap.BatchRequest{IPs: ips})
+	if err != nil {
+		return cellmap.BatchResponse{}, err
+	}
+	res, err := g.forward(ctx, shard, minGen, func(url string) (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, url+"/v1/lookup/batch", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
+	if err != nil {
+		return cellmap.BatchResponse{}, err
+	}
+	if res.status != http.StatusOK {
+		return cellmap.BatchResponse{}, fmt.Errorf("shard %d: status %d: %s",
+			shard, res.status, strings.TrimSpace(string(res.body)))
+	}
+	var br cellmap.BatchResponse
+	if err := json.Unmarshal(res.body, &br); err != nil {
+		return cellmap.BatchResponse{}, fmt.Errorf("shard %d: bad batch body: %w", shard, err)
+	}
+	if len(br.Results) != len(addrs) {
+		return cellmap.BatchResponse{}, fmt.Errorf("shard %d: %d results for %d addresses",
+			shard, len(br.Results), len(addrs))
+	}
+	return br, nil
+}
+
+// Batch scatter-gathers a batch lookup across the owning shards and
+// merges the answers back into request order.
+//
+// The generation-consistency guard: a response is only returned when
+// every sub-answer carries the same generation. When a gather observes a
+// mix, the gateway re-queries the lagging shards — biased toward replicas
+// the health view says have reached the target generation — for up to
+// GenRounds rounds, then fails with ErrGenerationSplit rather than serve
+// a frankenbatch spanning two snapshots.
+func (g *Gateway) Batch(ctx context.Context, addrs []netip.Addr) (cellmap.BatchResponse, error) {
+	start := time.Now()
+	defer func() { g.mFanout.Observe(time.Since(start).Seconds()) }()
+
+	// Group addresses by owning shard, remembering request positions.
+	groups := make(map[int][]int)
+	for i, a := range addrs {
+		s := g.ring.Owner(a)
+		groups[s] = append(groups[s], i)
+	}
+	sub := make(map[int][]netip.Addr, len(groups))
+	for s, idxs := range groups {
+		as := make([]netip.Addr, len(idxs))
+		for k, i := range idxs {
+			as[k] = addrs[i]
+		}
+		sub[s] = as
+	}
+
+	results := make(map[int]cellmap.BatchResponse, len(groups))
+	fetch := func(shards []int, minGen uint64) error {
+		var (
+			mu      sync.Mutex
+			wg      sync.WaitGroup
+			firstEB error
+		)
+		for _, s := range shards {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				br, err := g.shardFetch(ctx, s, minGen, sub[s])
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if firstEB == nil {
+						firstEB = err
+					}
+					return
+				}
+				results[s] = br
+			}(s)
+		}
+		wg.Wait()
+		return firstEB
+	}
+
+	all := make([]int, 0, len(groups))
+	for s := range groups {
+		all = append(all, s)
+	}
+	if err := fetch(all, 0); err != nil {
+		return cellmap.BatchResponse{}, err
+	}
+
+	for round := 0; ; round++ {
+		var target uint64
+		mixed, first := false, true
+		for _, br := range results {
+			switch {
+			case first:
+				target, first = br.Generation, false
+			case br.Generation != target:
+				mixed = true
+				if br.Generation > target {
+					target = br.Generation
+				}
+			}
+		}
+		if !mixed {
+			break
+		}
+		g.mConflicts.Inc()
+		if round >= g.cfg.GenRounds {
+			return cellmap.BatchResponse{}, ErrGenerationSplit
+		}
+		var lagging []int
+		for s, br := range results {
+			if br.Generation != target {
+				lagging = append(lagging, s)
+			}
+		}
+		g.logf("batch: generations split (target %d, %d shards behind), round %d", target, len(lagging), round+1)
+		// Give an in-flight rolling swap a moment to land before asking
+		// the laggards again.
+		select {
+		case <-ctx.Done():
+			return cellmap.BatchResponse{}, ctx.Err()
+		case <-time.After(g.cfg.Backoff):
+		}
+		if err := fetch(lagging, target); err != nil {
+			return cellmap.BatchResponse{}, err
+		}
+	}
+
+	out := cellmap.BatchResponse{Results: make([]cellmap.LookupResponse, len(addrs))}
+	for s, idxs := range groups {
+		br := results[s]
+		out.Generation = br.Generation
+		for k, i := range idxs {
+			out.Results[i] = br.Results[k]
+		}
+	}
+	return out, nil
+}
+
+// ErrGenerationSplit reports that the fleet could not converge on one
+// generation within the reconciliation budget.
+var ErrGenerationSplit = fmt.Errorf("cluster: shards split across generations, retry later")
+
+// Mount registers the gateway's routes on r:
+//
+//	GET  /v1/lookup?ip=ADDR  — routed to the owning shard
+//	POST /v1/lookup/batch    — scatter-gather, one generation
+//	GET  /v1/cluster/health  — the gateway's fleet view
+func (g *Gateway) Mount(r cellmap.Router) {
+	r.HandleFunc("GET /v1/lookup", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query().Get("ip")
+		if q == "" {
+			cellmap.WriteError(w, http.StatusBadRequest, "missing ip parameter")
+			return
+		}
+		addr, err := netip.ParseAddr(q)
+		if err != nil {
+			cellmap.WriteError(w, http.StatusBadRequest, "bad ip: "+err.Error())
+			return
+		}
+		status, body, err := g.Lookup(req.Context(), addr)
+		if err != nil {
+			cellmap.WriteError(w, http.StatusBadGateway, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		w.Write(body)
+	})
+	r.HandleFunc("POST /v1/lookup/batch", func(w http.ResponseWriter, req *http.Request) {
+		addrs, ok := cellmap.DecodeBatch(w, req, g.cfg.BatchLimit)
+		if !ok {
+			return
+		}
+		resp, err := g.Batch(req.Context(), addrs)
+		if err != nil {
+			code := http.StatusBadGateway
+			if err == ErrGenerationSplit {
+				code = http.StatusServiceUnavailable
+			}
+			cellmap.WriteError(w, code, err.Error())
+			return
+		}
+		cellmap.WriteJSON(w, resp)
+	})
+	r.HandleFunc("GET /v1/cluster/health", func(w http.ResponseWriter, _ *http.Request) {
+		cellmap.WriteJSON(w, g.Health())
+	})
+}
+
+// latencyTracker keeps a small ring of recent request latencies per shard
+// and answers "what is p95 right now" for the hedging policy. A mutex is
+// fine here: the gateway path does network I/O around it.
+type latencyTracker struct {
+	mu      sync.Mutex
+	samples [128]time.Duration
+	n       int // filled entries
+	idx     int // next write position
+}
+
+func (t *latencyTracker) observe(d time.Duration) {
+	t.mu.Lock()
+	t.samples[t.idx] = d
+	t.idx = (t.idx + 1) % len(t.samples)
+	if t.n < len(t.samples) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// p95 returns the 95th-percentile latency, or ok=false while fewer than
+// 16 samples are in (hedging then uses the configured default).
+func (t *latencyTracker) p95() (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < 16 {
+		return 0, false
+	}
+	tmp := make([]time.Duration, t.n)
+	copy(tmp, t.samples[:t.n])
+	// Insertion sort: n <= 128 and this runs once per request at most.
+	for i := 1; i < len(tmp); i++ {
+		for j := i; j > 0 && tmp[j] < tmp[j-1]; j-- {
+			tmp[j], tmp[j-1] = tmp[j-1], tmp[j]
+		}
+	}
+	return tmp[(len(tmp)*95)/100], true
+}

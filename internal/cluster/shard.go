@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/netip"
+	"sync/atomic"
+
+	"cellspot/internal/cellmap"
+	"cellspot/internal/netaddr"
+	"cellspot/internal/obs"
+)
+
+// HealthResponse is the body of GET /v1/cluster/health on a shard node:
+// the facts the gateway's health checker routes on.
+type HealthResponse struct {
+	Shard      int    `json:"shard"`
+	Shards     int    `json:"shards"`
+	Generation uint64 `json:"generation"`
+	// Entries counts the served entries this shard owns (an entry is owned
+	// when any unit block it covers hashes to the shard).
+	Entries int `json:"entries"`
+	// TotalEntries counts the full resident map, for comparison.
+	TotalEntries int    `json:"total_entries"`
+	Period       string `json:"period,omitempty"`
+}
+
+// ShardView is one node's partition-filtered view over a map source. The
+// full map stays resident (it is already loaded from the snapshot store,
+// and aggregated prefixes may straddle shard boundaries at block
+// granularity), but the request path only answers addresses the ring
+// assigns to this shard; anything else is a 421 naming the owner, so a
+// misconfigured client or stale gateway fails loudly instead of silently
+// double-serving the keyspace.
+type ShardView struct {
+	src  cellmap.Source
+	ring *Ring
+	id   int
+
+	// owned caches the owned-entry count per map pointer: the count walk
+	// expands every prefix once, so health checks must not repeat it.
+	owned atomic.Pointer[ownedCount]
+
+	mMisrouted *obs.Counter
+	mOwned     *obs.Gauge
+}
+
+type ownedCount struct {
+	m *cellmap.Map
+	n int
+}
+
+// NewShardView wraps src as shard id of the ring's partitioning.
+func NewShardView(src cellmap.Source, ring *Ring, id int) (*ShardView, error) {
+	if id < 0 || id >= ring.Shards() {
+		return nil, fmt.Errorf("cluster: shard id %d out of range [0,%d)", id, ring.Shards())
+	}
+	return &ShardView{src: src, ring: ring, id: id}, nil
+}
+
+// ID returns the shard index this view serves.
+func (v *ShardView) ID() int { return v.id }
+
+// EnableMetrics registers the shard-side cluster metrics:
+//
+//	cluster_misrouted_total  counter: requests for addresses this shard
+//	                         does not own (each one is a routing bug)
+//	cluster_owned_entries    gauge: owned entries in the served map
+func (v *ShardView) EnableMetrics(reg *obs.Registry) {
+	v.mMisrouted = reg.Counter("cluster_misrouted_total",
+		"Requests for addresses outside this shard's partition.")
+	v.mOwned = reg.Gauge("cluster_owned_entries",
+		"Entries of the served map owned by this shard.")
+	m, _ := v.src.Current()
+	v.mOwned.Set(int64(v.ownedEntries(m)))
+}
+
+// Owns reports whether this shard's partition covers addr.
+func (v *ShardView) Owns(addr netip.Addr) bool {
+	return v.ring.Owner(addr) == v.id
+}
+
+// ownedEntries counts entries the shard owns in m, caching per map
+// pointer so a hot-swap recomputes exactly once.
+func (v *ShardView) ownedEntries(m *cellmap.Map) int {
+	if c := v.owned.Load(); c != nil && c.m == m {
+		return c.n
+	}
+	n := 0
+	for _, e := range m.Entries() {
+		blocks, ok := netaddr.ExpandPrefix(e.Prefix)
+		if !ok {
+			// Wider than the expansion bound; attribute by base block.
+			if v.ring.OwnerBlock(netaddr.BlockFromAddr(e.Prefix.Addr())) == v.id {
+				n++
+			}
+			continue
+		}
+		for _, b := range blocks {
+			if v.ring.OwnerBlock(b) == v.id {
+				n++
+				break
+			}
+		}
+	}
+	v.owned.Store(&ownedCount{m: m, n: n})
+	v.mOwned.Set(int64(n))
+	return n
+}
+
+// MountShard registers the partition-filtered lookup service on r:
+//
+//	GET  /v1/lookup?ip=ADDR  — owned addresses only; 421 otherwise
+//	POST /v1/lookup/batch    — every address must be owned
+//	GET  /v1/cluster/health  — shard id, generation, owned entry count
+//	GET  /v1/info            — the usual dataset metadata
+//
+// Like the single-node service, every handler resolves the source exactly
+// once per request, so one response never mixes generations.
+func MountShard(r cellmap.Router, v *ShardView) {
+	r.HandleFunc("GET /v1/lookup", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query().Get("ip")
+		if q == "" {
+			cellmap.WriteError(w, http.StatusBadRequest, "missing ip parameter")
+			return
+		}
+		addr, err := netip.ParseAddr(q)
+		if err != nil {
+			cellmap.WriteError(w, http.StatusBadRequest, "bad ip: "+err.Error())
+			return
+		}
+		if owner := v.ring.Owner(addr); owner != v.id {
+			v.mMisrouted.Inc()
+			cellmap.WriteError(w, http.StatusMisdirectedRequest,
+				fmt.Sprintf("address %s belongs to shard %d, this is shard %d", addr, owner, v.id))
+			return
+		}
+		m, gen := v.src.Current()
+		cellmap.WriteJSON(w, cellmap.LookupAddr(m, gen, addr))
+	})
+	r.HandleFunc("POST /v1/lookup/batch", func(w http.ResponseWriter, req *http.Request) {
+		addrs, ok := cellmap.DecodeBatch(w, req, cellmap.DefaultBatchLimit)
+		if !ok {
+			return
+		}
+		for _, a := range addrs {
+			if owner := v.ring.Owner(a); owner != v.id {
+				v.mMisrouted.Inc()
+				cellmap.WriteError(w, http.StatusMisdirectedRequest,
+					fmt.Sprintf("address %s belongs to shard %d, this is shard %d", a, owner, v.id))
+				return
+			}
+		}
+		m, gen := v.src.Current()
+		resp := cellmap.BatchResponse{Generation: gen, Results: make([]cellmap.LookupResponse, 0, len(addrs))}
+		for _, a := range addrs {
+			resp.Results = append(resp.Results, cellmap.LookupAddr(m, gen, a))
+		}
+		cellmap.WriteJSON(w, resp)
+	})
+	r.HandleFunc("GET /v1/cluster/health", func(w http.ResponseWriter, _ *http.Request) {
+		m, gen := v.src.Current()
+		cellmap.WriteJSON(w, HealthResponse{
+			Shard:        v.id,
+			Shards:       v.ring.Shards(),
+			Generation:   gen,
+			Entries:      v.ownedEntries(m),
+			TotalEntries: m.Len(),
+			Period:       m.Period,
+		})
+	})
+	cellmap.MountInfo(r, v.src)
+}

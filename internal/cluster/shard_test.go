@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cellspot/internal/cellmap"
+	"cellspot/internal/obs"
+)
+
+func TestShardViewFiltering(t *testing.T) {
+	m := mkMap(t, "2016-12", genOneEntries())
+	ring := NewRing(3, DefaultVNodes)
+	sw := cellmap.NewSwappable(m, 7)
+	view, err := NewShardView(sw, ring, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	view.EnableMetrics(reg)
+	mux := http.NewServeMux()
+	MountShard(mux, view)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	owned := addrOwnedBy(t, ring, 0)
+	resp, err := http.Get(srv.URL + "/v1/lookup?ip=" + owned.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lr cellmap.LookupResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("owned lookup: status %d", resp.StatusCode)
+	}
+	if lr.Generation != 7 {
+		t.Errorf("owned lookup generation = %d, want 7", lr.Generation)
+	}
+	if want := cellmap.LookupAddr(m, 7, owned); lr != want {
+		t.Errorf("owned lookup = %+v, want %+v", lr, want)
+	}
+
+	// A misrouted address must be refused with 421, naming the owner.
+	foreign := addrOwnedBy(t, ring, 1)
+	resp, err = http.Get(srv.URL + "/v1/lookup?ip=" + foreign.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e cellmap.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("foreign lookup: status %d, want 421", resp.StatusCode)
+	}
+	if !strings.Contains(e.Error, "shard 1") || !strings.Contains(e.Error, "shard 0") {
+		t.Errorf("421 body does not name owner and self: %q", e.Error)
+	}
+
+	// A batch containing any foreign address is refused whole.
+	body := fmt.Sprintf(`{"ips":[%q,%q]}`, owned, foreign)
+	bresp, err := http.Post(srv.URL+"/v1/lookup/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusMisdirectedRequest {
+		t.Errorf("mixed-ownership batch: status %d, want 421", bresp.StatusCode)
+	}
+
+	// The misrouted counter saw both refusals.
+	var buf strings.Builder
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cluster_misrouted_total 2") {
+		t.Errorf("cluster_misrouted_total != 2 in:\n%s", buf.String())
+	}
+}
+
+func TestShardHealthEndpoint(t *testing.T) {
+	m := mkMap(t, "2016-12", genOneEntries())
+	ring := NewRing(3, DefaultVNodes)
+	sw := cellmap.NewSwappable(m, 3)
+	view, err := NewShardView(sw, ring, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	MountShard(mux, view)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func() HealthResponse {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/cluster/health")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("health: status %d", resp.StatusCode)
+		}
+		var h HealthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	h := get()
+	if h.Shard != 2 || h.Shards != 3 || h.Generation != 3 || h.Period != "2016-12" {
+		t.Errorf("health = %+v", h)
+	}
+	// The owned count must match an independent computation (it may
+	// legitimately be 0 for a small map on an unlucky shard).
+	indep, err := NewShardView(cellmap.Static{M: m}, ring, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TotalEntries != m.Len() || h.Entries != indep.ownedEntries(m) {
+		t.Errorf("entry counts = %+v (map has %d, shard owns %d)", h, m.Len(), indep.ownedEntries(m))
+	}
+
+	// Health tracks a hot swap: generation and counts update.
+	m2 := mkMap(t, "2017-01", genTwoEntries())
+	sw.Swap(m2, 9)
+	h2 := get()
+	if h2.Generation != 9 || h2.TotalEntries != m2.Len() || h2.Period != "2017-01" {
+		t.Errorf("post-swap health = %+v", h2)
+	}
+
+	// /v1/info rides along on shard nodes.
+	resp, err := http.Get(srv.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info cellmap.Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.Generation != 9 || info.Entries != m2.Len() {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+// TestOwnedEntriesPartition: with unit-block-only entries, every entry is
+// owned by exactly one shard, so the per-shard owned counts must
+// partition the map exactly.
+func TestOwnedEntriesPartition(t *testing.T) {
+	m := mkMap(t, "x", genOneEntries())
+	ring := NewRing(3, DefaultVNodes)
+	total := 0
+	for s := 0; s < 3; s++ {
+		view, err := NewShardView(cellmap.Static{M: m}, ring, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += view.ownedEntries(m)
+	}
+	if total != m.Len() {
+		t.Errorf("owned counts sum to %d, map has %d entries", total, m.Len())
+	}
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const validTopology = `{
+  "format": "cellspot-topology/1",
+  "vnodes": 32,
+  "shards": [
+    {"replicas": ["http://127.0.0.1:9001", "http://127.0.0.1:9002"]},
+    {"replicas": ["http://127.0.0.1:9003", "http://127.0.0.1:9004"]},
+    {"replicas": ["http://127.0.0.1:9005"]}
+  ]
+}`
+
+func TestParseTopology(t *testing.T) {
+	topo, err := ParseTopology(strings.NewReader(validTopology))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumShards() != 3 || topo.VNodes != 32 {
+		t.Errorf("topology = %+v", topo)
+	}
+	if len(topo.Shards[0].Replicas) != 2 || len(topo.Shards[2].Replicas) != 1 {
+		t.Errorf("replicas = %+v", topo.Shards)
+	}
+}
+
+func TestLoadTopology(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.json")
+	if err := os.WriteFile(path, []byte(validTopology), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumShards() != 3 {
+		t.Errorf("shards = %d", topo.NumShards())
+	}
+	if _, err := LoadTopology(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	cases := map[string]string{
+		"wrong format":  `{"format":"nope/9","shards":[{"replicas":["http://a:1"]}]}`,
+		"no shards":     `{"format":"cellspot-topology/1","shards":[]}`,
+		"empty replica": `{"format":"cellspot-topology/1","shards":[{"replicas":[]}]}`,
+		"bad scheme":    `{"format":"cellspot-topology/1","shards":[{"replicas":["ftp://a:1"]}]}`,
+		"no host":       `{"format":"cellspot-topology/1","shards":[{"replicas":["http://"]}]}`,
+		"has path":      `{"format":"cellspot-topology/1","shards":[{"replicas":["http://a:1/v1"]}]}`,
+		"duplicate":     `{"format":"cellspot-topology/1","shards":[{"replicas":["http://a:1"]},{"replicas":["http://a:1"]}]}`,
+		"unknown field": `{"format":"cellspot-topology/1","shards":[{"replicas":["http://a:1"]}],"extra":1}`,
+		"neg vnodes":    `{"format":"cellspot-topology/1","vnodes":-3,"shards":[{"replicas":["http://a:1"]}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseTopology(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseShardID(t *testing.T) {
+	topo, err := ParseTopology(strings.NewReader(validTopology))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, err := ParseShardID("1/3", topo); err != nil || id != 1 {
+		t.Errorf("1/3 = %d, %v", id, err)
+	}
+	for _, bad := range []string{"", "1", "x/3", "1/x", "1/4", "3/3", "-1/3"} {
+		if _, err := ParseShardID(bad, topo); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
