@@ -79,6 +79,7 @@ func run() int {
 	clusterMode := flag.Bool("cluster", false, "serve as a cluster shard node: refuse addresses outside this shard's partition")
 	shardSpec := flag.String("shard", "", "this node's shard identity as i/N (with -cluster)")
 	gatewayMode := flag.Bool("gateway", false, "serve as a cluster gateway: route lookups to shard nodes, no local map")
+	gatewayCache := flag.Int("gateway-cache", 65536, "gateway response cache capacity in addresses (0 disables); invalidated wholesale on generation change")
 	flag.Parse()
 
 	if *gatewayMode {
@@ -93,7 +94,7 @@ func run() int {
 			log.Print("-gateway holds no map; drop -map/-snapshots/-live-spool")
 			return 2
 		}
-		return runGateway(*topoPath, *addr)
+		return runGateway(*topoPath, *addr, *gatewayCache)
 	}
 	if *clusterMode != (*shardSpec != "") {
 		log.Print("-cluster and -shard i/N go together")
@@ -210,8 +211,9 @@ func run() int {
 }
 
 // runGateway is the -gateway lifecycle: no map, no store — just the
-// router, its health loop, and metrics.
-func runGateway(topoPath, addr string) int {
+// router, its generation-keyed response cache, its health loop, and
+// metrics.
+func runGateway(topoPath, addr string, cacheSize int) int {
 	topo, err := cluster.LoadTopology(topoPath)
 	if err != nil {
 		log.Print(err)
@@ -219,9 +221,10 @@ func runGateway(topoPath, addr string) int {
 	}
 	reg := obs.NewRegistry()
 	g, err := cluster.NewGateway(cluster.GatewayConfig{
-		Topology: topo,
-		Registry: reg,
-		Logf:     log.Printf,
+		Topology:  topo,
+		Registry:  reg,
+		CacheSize: cacheSize,
+		Logf:      log.Printf,
 	})
 	if err != nil {
 		log.Print(err)

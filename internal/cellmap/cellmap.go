@@ -19,6 +19,7 @@ import (
 	"cellspot/internal/beacon"
 	"cellspot/internal/demand"
 	"cellspot/internal/logio"
+	"cellspot/internal/lpm"
 	"cellspot/internal/netaddr"
 )
 
@@ -41,7 +42,11 @@ type Map struct {
 	Period string `json:"period"`
 
 	entries []Entry
-	trie    netaddr.Trie[int] // prefix -> entries index
+	// idx is the flat longest-prefix matcher over entries: immutable,
+	// pointer-free, zero allocations per lookup. prefixStr caches each
+	// entry's textual prefix so the request path never re-stringifies.
+	idx       *lpm.Matcher
+	prefixStr []string
 }
 
 // Inputs bundles the measurement data a map is built from.
@@ -115,14 +120,28 @@ func (m *Map) sortEntries() {
 }
 
 func (m *Map) index() {
-	m.trie = netaddr.Trie[int]{}
+	es := make([]lpm.Entry, len(m.entries))
+	m.prefixStr = make([]string, len(m.entries))
 	for i, e := range m.entries {
-		// Prefixes are disjoint by construction; Insert cannot fail for
-		// valid prefixes, which Build and Read guarantee.
-		if err := m.trie.Insert(e.Prefix, i); err != nil {
-			panic(fmt.Sprintf("cellmap: index %s: %v", e.Prefix, err))
-		}
+		es[i] = lpm.Entry{Prefix: e.Prefix, Value: int32(i)}
+		m.prefixStr[i] = e.Prefix.String()
 	}
+	// Prefixes are valid, masked, and deduplicated by construction —
+	// Build and Read both guarantee it — so a build failure here is a
+	// program bug, not bad input.
+	idx, err := lpm.Build(es)
+	if err != nil {
+		panic(fmt.Sprintf("cellmap: index: %v", err))
+	}
+	m.idx = idx
+}
+
+// lookupIdx resolves addr to an entries index with zero allocations; it
+// is the hot core under Lookup and LookupAddr. A never-indexed map (the
+// Empty placeholder) misses everything.
+func (m *Map) lookupIdx(addr netip.Addr) (int, bool) {
+	i, ok := m.idx.Lookup(addr)
+	return int(i), ok
 }
 
 // Len returns the number of published prefixes.
@@ -144,7 +163,7 @@ func (m *Map) TotalDU() float64 {
 // Lookup reports whether addr falls inside published cellular space and,
 // when it does, the covering entry.
 func (m *Map) Lookup(addr netip.Addr) (Entry, bool) {
-	i, ok := m.trie.Lookup(addr)
+	i, ok := m.lookupIdx(addr)
 	if !ok {
 		return Entry{}, false
 	}

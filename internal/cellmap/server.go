@@ -87,22 +87,22 @@ func MountRoutes(r Router, m *Map) {
 // for any number of concurrent requests.
 func MountSource(r Router, src Source) {
 	r.HandleFunc("GET /v1/lookup", func(w http.ResponseWriter, r *http.Request) {
-		addr, ok := parseLookupAddr(w, r)
+		addr, name, ok := parseLookupAddr(w, r)
 		if !ok {
 			return
 		}
 		m, gen := src.Current()
-		WriteJSON(w, LookupAddr(m, gen, addr))
+		WriteJSON(w, LookupAddr(m, gen, addr, name))
 	})
 	r.HandleFunc("POST /v1/lookup/batch", func(w http.ResponseWriter, r *http.Request) {
-		addrs, ok := DecodeBatch(w, r, DefaultBatchLimit)
+		addrs, names, ok := DecodeBatch(w, r, DefaultBatchLimit)
 		if !ok {
 			return
 		}
 		m, gen := src.Current()
 		resp := BatchResponse{Generation: gen, Results: make([]LookupResponse, 0, len(addrs))}
-		for _, a := range addrs {
-			resp.Results = append(resp.Results, LookupAddr(m, gen, a))
+		for i, a := range addrs {
+			resp.Results = append(resp.Results, LookupAddr(m, gen, a, names[i]))
 		}
 		WriteJSON(w, resp)
 	})
@@ -126,12 +126,17 @@ func MountInfo(r Router, src Source) {
 }
 
 // LookupAddr resolves one address against m and shapes the service answer,
-// stamped with the generation m belongs to.
-func LookupAddr(m *Map, gen uint64, addr netip.Addr) LookupResponse {
-	resp := LookupResponse{Addr: addr.String(), Generation: gen}
-	if e, ok := m.Lookup(addr); ok {
+// stamped with the generation m belongs to. name is the textual form of
+// addr to echo back — handlers pass the string the client sent, so the
+// whole call is allocation-free: the index walk is flat-array only, the
+// prefix string is cached at build time, and every other field is a value
+// copy. The allocation regression test pins this at 0 allocs/op.
+func LookupAddr(m *Map, gen uint64, addr netip.Addr, name string) LookupResponse {
+	resp := LookupResponse{Addr: name, Generation: gen}
+	if i, ok := m.lookupIdx(addr); ok {
+		e := &m.entries[i]
 		resp.Cellular = true
-		resp.Prefix = e.Prefix.String()
+		resp.Prefix = m.prefixStr[i]
 		resp.ASN = e.ASN
 		resp.Country = e.Country
 		resp.Ratio = e.Ratio
@@ -142,26 +147,30 @@ func LookupAddr(m *Map, gen uint64, addr netip.Addr) LookupResponse {
 
 // parseLookupAddr extracts and validates the ip query parameter, answering
 // the error itself (JSON body, like every error path) when absent or bad.
-func parseLookupAddr(w http.ResponseWriter, r *http.Request) (netip.Addr, bool) {
+// It returns both the parsed address and the string the client sent, so
+// the answer can echo the request without re-stringifying.
+func parseLookupAddr(w http.ResponseWriter, r *http.Request) (netip.Addr, string, bool) {
 	q := r.URL.Query().Get("ip")
 	if q == "" {
 		WriteError(w, http.StatusBadRequest, "missing ip parameter")
-		return netip.Addr{}, false
+		return netip.Addr{}, "", false
 	}
 	addr, err := netip.ParseAddr(q)
 	if err != nil {
 		WriteError(w, http.StatusBadRequest, "bad ip: "+err.Error())
-		return netip.Addr{}, false
+		return netip.Addr{}, "", false
 	}
-	return addr, true
+	return addr, q, true
 }
 
 // DecodeBatch reads and validates a batch lookup body, enforcing the
 // address-count cap and the body-size bound. On any failure it writes the
 // JSON error response itself — 413 on overflow, 400 otherwise — and
-// returns ok=false. Shared by the single-node handler, shard nodes, and
+// returns ok=false. It returns the parsed addresses alongside the strings
+// the client sent (position-matched), so handlers can echo without
+// re-stringifying. Shared by the single-node handler, shard nodes, and
 // the gateway so every tier speaks the identical wire format.
-func DecodeBatch(w http.ResponseWriter, r *http.Request, limit int) ([]netip.Addr, bool) {
+func DecodeBatch(w http.ResponseWriter, r *http.Request, limit int) ([]netip.Addr, []string, bool) {
 	if limit <= 0 {
 		limit = DefaultBatchLimit
 	}
@@ -172,30 +181,30 @@ func DecodeBatch(w http.ResponseWriter, r *http.Request, limit int) ([]netip.Add
 		if errors.As(err, &tooBig) {
 			WriteError(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("batch body exceeds %d bytes", tooBig.Limit))
-			return nil, false
+			return nil, nil, false
 		}
 		WriteError(w, http.StatusBadRequest, "bad batch request: "+err.Error())
-		return nil, false
+		return nil, nil, false
 	}
 	if len(req.IPs) == 0 {
 		WriteError(w, http.StatusBadRequest, "empty batch: body must carry a non-empty ips array")
-		return nil, false
+		return nil, nil, false
 	}
 	if len(req.IPs) > limit {
 		WriteError(w, http.StatusRequestEntityTooLarge,
 			fmt.Sprintf("batch of %d addresses exceeds limit %d", len(req.IPs), limit))
-		return nil, false
+		return nil, nil, false
 	}
 	addrs := make([]netip.Addr, 0, len(req.IPs))
 	for i, s := range req.IPs {
 		a, err := netip.ParseAddr(s)
 		if err != nil {
 			WriteError(w, http.StatusBadRequest, fmt.Sprintf("bad ip at index %d: %v", i, err))
-			return nil, false
+			return nil, nil, false
 		}
 		addrs = append(addrs, a)
 	}
-	return addrs, true
+	return addrs, req.IPs, true
 }
 
 // Handler serves a cellular map on a plain mux; see MountRoutes.

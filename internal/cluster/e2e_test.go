@@ -33,7 +33,7 @@ func TestClusterE2E(t *testing.T) {
 	expected := map[uint64]map[netip.Addr]cellmap.LookupResponse{1: {}, 2: {}}
 	for gen, m := range maps {
 		for _, a := range coveredAddrs() {
-			expected[gen][a] = cellmap.LookupAddr(m, gen, a)
+			expected[gen][a] = cellmap.LookupAddr(m, gen, a, a.String())
 		}
 	}
 

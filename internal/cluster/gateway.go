@@ -40,6 +40,11 @@ type GatewayConfig struct {
 	// BatchLimit caps batch fan-out requests. Default
 	// cellmap.DefaultBatchLimit.
 	BatchLimit int
+	// CacheSize is the capacity (addresses) of the generation-keyed
+	// response cache; 0 disables caching. The cache holds answers of the
+	// newest generation the gateway has observed and is invalidated
+	// wholesale the moment a newer generation appears.
+	CacheSize int
 	// GenRounds is how many reconciliation rounds a mixed-generation
 	// batch gets before failing. Default 3.
 	GenRounds int
@@ -90,6 +95,7 @@ type Gateway struct {
 	replicas [][]*replica // [shard][replica]
 	rr       []atomic.Uint64
 	lat      []*latencyTracker
+	cache    *lookupCache // nil when CacheSize is 0
 
 	mRequests  []*obs.Counter // per shard
 	mErrors    []*obs.Counter
@@ -113,6 +119,9 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		lat:  make([]*latencyTracker, cfg.Topology.NumShards()),
 	}
 	reg := cfg.Registry
+	if cfg.CacheSize > 0 {
+		g.cache = newLookupCache(cfg.CacheSize, reg)
+	}
 	g.mFanout = reg.Histogram("cluster_fanout_seconds",
 		"Batch scatter-gather wall time in seconds.", obs.DefBuckets)
 	g.mConflicts = reg.Counter("cluster_generation_conflicts_total",
@@ -319,14 +328,34 @@ func clampDuration(d, lo, hi time.Duration) time.Duration {
 }
 
 // Lookup routes one address to its owning shard and returns the shard's
-// raw answer (status + body), ready to proxy.
+// raw answer (status + body), ready to proxy. With caching enabled, a hit
+// answers locally from the cache's current generation; a miss is
+// forwarded (biased toward replicas at or past that generation) and the
+// answer cached under the generation it carries.
 func (g *Gateway) Lookup(ctx context.Context, addr netip.Addr) (int, []byte, error) {
+	var minGen uint64
+	if g.cache != nil {
+		if resp, _, ok := g.cache.get(addr); ok {
+			body, err := json.Marshal(resp)
+			if err != nil {
+				return 0, nil, err
+			}
+			return http.StatusOK, append(body, '\n'), nil
+		}
+		minGen = g.cache.generation()
+	}
 	shard := g.ring.Owner(addr)
-	res, err := g.forward(ctx, shard, 0, func(url string) (*http.Request, error) {
+	res, err := g.forward(ctx, shard, minGen, func(url string) (*http.Request, error) {
 		return http.NewRequest(http.MethodGet, url+"/v1/lookup?ip="+addr.String(), nil)
 	})
 	if err != nil {
 		return 0, nil, err
+	}
+	if g.cache != nil && res.status == http.StatusOK {
+		var lr cellmap.LookupResponse
+		if err := json.Unmarshal(res.body, &lr); err == nil {
+			g.cache.put(lr.Generation, addr, lr)
+		}
 	}
 	return res.status, res.body, nil
 }
@@ -367,8 +396,79 @@ func (g *Gateway) shardFetch(ctx context.Context, shard int, minGen uint64, addr
 	return br, nil
 }
 
-// Batch scatter-gathers a batch lookup across the owning shards and
-// merges the answers back into request order.
+// Batch answers a batch lookup, serving what it can from the cache and
+// scatter-gathering the rest. Every response is generation-uniform: all
+// results carry one generation, whether they came from the cache, the
+// fleet, or (transiently) both.
+//
+// The merge rule: cache hits are valid only at the cache's generation,
+// so misses are fetched with that generation as the floor. If the fleet
+// answers at a newer generation (a swap landed between the cache read
+// and the fetch), mixing would violate uniformity — the gateway refetches
+// the whole batch at the new generation instead. The refetch can recurse
+// at most as long as generations keep advancing mid-request, which the
+// deployment invariant makes a transient of rolling swaps, not a loop.
+func (g *Gateway) Batch(ctx context.Context, addrs []netip.Addr) (cellmap.BatchResponse, error) {
+	start := time.Now()
+	defer func() { g.mFanout.Observe(time.Since(start).Seconds()) }()
+	resp, err := g.batchCached(ctx, addrs)
+	if err != nil {
+		return cellmap.BatchResponse{}, err
+	}
+	return resp, nil
+}
+
+func (g *Gateway) batchCached(ctx context.Context, addrs []netip.Addr) (cellmap.BatchResponse, error) {
+	if g.cache == nil {
+		return g.batchFetch(ctx, addrs, 0)
+	}
+	out := make([]cellmap.LookupResponse, len(addrs))
+	hit := make([]bool, len(addrs))
+	cgen := g.cache.getMany(addrs, out, hit)
+
+	miss := make([]netip.Addr, 0, len(addrs))
+	for i, h := range hit {
+		if !h {
+			miss = append(miss, addrs[i])
+		}
+	}
+	if len(miss) == 0 {
+		return cellmap.BatchResponse{Generation: cgen, Results: out}, nil
+	}
+
+	fetched, err := g.batchFetch(ctx, miss, cgen)
+	if err != nil {
+		return cellmap.BatchResponse{}, err
+	}
+	g.cache.observe(fetched.Generation)
+	if fetched.Generation != cgen && len(miss) < len(addrs) {
+		// A swap landed between the cache read and the fetch: the hits
+		// belong to an older snapshot than the fetched answers. Refetch
+		// everything at the new generation rather than mix.
+		fetched, err = g.batchFetch(ctx, addrs, fetched.Generation)
+		if err != nil {
+			return cellmap.BatchResponse{}, err
+		}
+		g.cache.observe(fetched.Generation)
+		for i, r := range fetched.Results {
+			g.cache.put(fetched.Generation, addrs[i], r)
+		}
+		return fetched, nil
+	}
+	k := 0
+	for i, h := range hit {
+		if !h {
+			out[i] = fetched.Results[k]
+			g.cache.put(fetched.Generation, addrs[i], out[i])
+			k++
+		}
+	}
+	return cellmap.BatchResponse{Generation: fetched.Generation, Results: out}, nil
+}
+
+// batchFetch scatter-gathers a batch lookup across the owning shards and
+// merges the answers back into request order. minGen biases replica
+// selection toward replicas at or past that generation.
 //
 // The generation-consistency guard: a response is only returned when
 // every sub-answer carries the same generation. When a gather observes a
@@ -376,10 +476,7 @@ func (g *Gateway) shardFetch(ctx context.Context, shard int, minGen uint64, addr
 // the health view says have reached the target generation — for up to
 // GenRounds rounds, then fails with ErrGenerationSplit rather than serve
 // a frankenbatch spanning two snapshots.
-func (g *Gateway) Batch(ctx context.Context, addrs []netip.Addr) (cellmap.BatchResponse, error) {
-	start := time.Now()
-	defer func() { g.mFanout.Observe(time.Since(start).Seconds()) }()
-
+func (g *Gateway) batchFetch(ctx context.Context, addrs []netip.Addr, minGen uint64) (cellmap.BatchResponse, error) {
 	// Group addresses by owning shard, remembering request positions.
 	groups := make(map[int][]int)
 	for i, a := range addrs {
@@ -426,22 +523,26 @@ func (g *Gateway) Batch(ctx context.Context, addrs []netip.Addr) (cellmap.BatchR
 	for s := range groups {
 		all = append(all, s)
 	}
-	if err := fetch(all, 0); err != nil {
+	if err := fetch(all, minGen); err != nil {
 		return cellmap.BatchResponse{}, err
 	}
 
 	for round := 0; ; round++ {
-		var target uint64
-		mixed, first := false, true
+		// minGen is a floor, not just a routing bias: an answer below it
+		// would be stale relative to what the caller (the cache) has
+		// already observed, so shards below the target count as lagging
+		// even when they agree with each other.
+		target := minGen
 		for _, br := range results {
-			switch {
-			case first:
-				target, first = br.Generation, false
-			case br.Generation != target:
+			if br.Generation > target {
+				target = br.Generation
+			}
+		}
+		mixed := false
+		for _, br := range results {
+			if br.Generation != target {
 				mixed = true
-				if br.Generation > target {
-					target = br.Generation
-				}
+				break
 			}
 		}
 		if !mixed {
@@ -512,7 +613,7 @@ func (g *Gateway) Mount(r cellmap.Router) {
 		w.Write(body)
 	})
 	r.HandleFunc("POST /v1/lookup/batch", func(w http.ResponseWriter, req *http.Request) {
-		addrs, ok := cellmap.DecodeBatch(w, req, g.cfg.BatchLimit)
+		addrs, _, ok := cellmap.DecodeBatch(w, req, g.cfg.BatchLimit)
 		if !ok {
 			return
 		}

@@ -82,6 +82,9 @@ func (g *Gateway) checkReplica(ctx context.Context, rep *replica) {
 	}
 	rep.gen.Store(h.Generation)
 	rep.mGen.Set(int64(h.Generation))
+	// A probe is often the first place a rolling swap becomes visible;
+	// fold it into the cache so stale entries die before the next lookup.
+	g.cache.observe(h.Generation)
 	if !rep.up.Swap(true) {
 		g.logf("replica %s (shard %d) up at generation %d", rep.url, rep.shard, h.Generation)
 	}

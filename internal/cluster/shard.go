@@ -136,10 +136,10 @@ func MountShard(r cellmap.Router, v *ShardView) {
 			return
 		}
 		m, gen := v.src.Current()
-		cellmap.WriteJSON(w, cellmap.LookupAddr(m, gen, addr))
+		cellmap.WriteJSON(w, cellmap.LookupAddr(m, gen, addr, q))
 	})
 	r.HandleFunc("POST /v1/lookup/batch", func(w http.ResponseWriter, req *http.Request) {
-		addrs, ok := cellmap.DecodeBatch(w, req, cellmap.DefaultBatchLimit)
+		addrs, names, ok := cellmap.DecodeBatch(w, req, cellmap.DefaultBatchLimit)
 		if !ok {
 			return
 		}
@@ -153,8 +153,8 @@ func MountShard(r cellmap.Router, v *ShardView) {
 		}
 		m, gen := v.src.Current()
 		resp := cellmap.BatchResponse{Generation: gen, Results: make([]cellmap.LookupResponse, 0, len(addrs))}
-		for _, a := range addrs {
-			resp.Results = append(resp.Results, cellmap.LookupAddr(m, gen, a))
+		for i, a := range addrs {
+			resp.Results = append(resp.Results, cellmap.LookupAddr(m, gen, a, names[i]))
 		}
 		cellmap.WriteJSON(w, resp)
 	})

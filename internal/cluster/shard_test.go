@@ -43,7 +43,7 @@ func TestShardViewFiltering(t *testing.T) {
 	if lr.Generation != 7 {
 		t.Errorf("owned lookup generation = %d, want 7", lr.Generation)
 	}
-	if want := cellmap.LookupAddr(m, 7, owned); lr != want {
+	if want := cellmap.LookupAddr(m, 7, owned, owned.String()); lr != want {
 		t.Errorf("owned lookup = %+v, want %+v", lr, want)
 	}
 

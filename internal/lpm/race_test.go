@@ -1,0 +1,7 @@
+//go:build race
+
+package lpm
+
+// raceEnabled lets allocation-counting tests skip under -race, where the
+// runtime's instrumentation makes AllocsPerRun meaningless.
+const raceEnabled = true

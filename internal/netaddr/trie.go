@@ -25,9 +25,12 @@ type trieNode[V any] struct {
 	set   bool
 }
 
-// mappedBits returns the address as a 16-byte array in the unified space and
-// the depth offset for the prefix length.
-func mappedBits(p netip.Prefix) (addr [16]byte, depth int, err error) {
+// MappedPrefix returns the prefix's address as a 16-byte array in the
+// unified IPv4-mapped-IPv6 space and its depth in that space (the prefix
+// length, offset by 96 for IPv4). It is the single definition of the
+// unified space shared by the Trie and by the flat matcher in internal/lpm,
+// so the two structures cannot disagree about where a prefix lives.
+func MappedPrefix(p netip.Prefix) (addr [16]byte, depth int, err error) {
 	if !p.IsValid() {
 		return addr, 0, fmt.Errorf("netaddr: invalid prefix")
 	}
@@ -47,7 +50,7 @@ func bitAt(addr [16]byte, i int) int {
 
 // Insert stores val at prefix p, replacing any existing value at exactly p.
 func (t *Trie[V]) Insert(p netip.Prefix, val V) error {
-	addr, depth, err := mappedBits(p.Masked())
+	addr, depth, err := MappedPrefix(p.Masked())
 	if err != nil {
 		return err
 	}
@@ -104,7 +107,7 @@ func (t *Trie[V]) LookupBlock(b Block) (V, bool) {
 
 // Get returns the value stored at exactly prefix p.
 func (t *Trie[V]) Get(p netip.Prefix) (val V, ok bool) {
-	addr, depth, err := mappedBits(p.Masked())
+	addr, depth, err := MappedPrefix(p.Masked())
 	if err != nil || t.root == nil {
 		return val, false
 	}
