@@ -14,6 +14,11 @@
 //	    resolve addresses against an exported cellular map
 //	cellspot country  [-scale S] [-seed N] [-top K] CC...
 //	    per-country cellular profile with top operators
+//	cellspot ingest   -dir DIR [-out DIR] [-policy FILE] [-strict] [-gzip] [-threshold 0.5]
+//	    import a Zeek-style conn-log tree (TSV or JSONL, plain or gzip, one
+//	    subdirectory per sensor), classify the measured traffic, and
+//	    optionally write a beacon spool + derived datasets for the rest of
+//	    the toolchain (classify, cellmapd -live-spool)
 package main
 
 import (
@@ -30,8 +35,10 @@ import (
 	"cellspot/internal/cellmap"
 	"cellspot/internal/classify"
 	"cellspot/internal/demand"
+	"cellspot/internal/ingest"
 	"cellspot/internal/logio"
 	"cellspot/internal/netaddr"
+	"cellspot/internal/pipeline"
 	"cellspot/internal/report"
 	"cellspot/internal/world"
 )
@@ -56,6 +63,8 @@ func main() {
 		err = runLookup(os.Args[2:])
 	case "country":
 		err = runCountry(os.Args[2:])
+	case "ingest":
+		err = runIngest(os.Args[2:])
 	default:
 		usage()
 	}
@@ -65,7 +74,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cellspot <gen|classify|summary|export|lookup|country> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: cellspot <gen|classify|summary|export|lookup|country|ingest> [flags]")
 	os.Exit(2)
 }
 
@@ -356,6 +365,114 @@ func runClassify(args []string) error {
 		return err
 	}
 	log.Printf("wrote %s", outPath)
+	return nil
+}
+
+// runIngest imports foreign conn logs and runs the classification stage
+// over the measured traffic — the "run the paper's method on your own
+// Zeek logs" entry point. With -out it additionally writes a beacon-record
+// spool (prefix "beacon", so 'cellspot classify -data' and cellmapd's live
+// tailer consume it unchanged), the normalized DEMAND dataset, and the
+// detected cellular blocks.
+func runIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	dir := fs.String("dir", "", "conn-log directory (required)")
+	out := fs.String("out", "", "output directory for spool + derived datasets")
+	policyPath := fs.String("policy", "", "subnet policy JSON ({\"always_include\": [...], \"never_include\": [...]})")
+	strict := fs.Bool("strict", false, "abort on the first malformed line")
+	gzipped := fs.Bool("gzip", false, "gzip the output spool")
+	threshold := fs.Float64("threshold", classify.DefaultThreshold, "cellular ratio threshold")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("ingest: -dir is required")
+	}
+
+	cfg := ingest.Config{Dir: *dir, Strict: *strict, Logf: log.Printf}
+	if *policyPath != "" {
+		p, err := ingest.LoadPolicy(*policyPath)
+		if err != nil {
+			return err
+		}
+		cfg.Policy = p
+	}
+
+	var spool *logio.Spool
+	var werr error
+	var hook func(beacon.Record)
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+		spool = logio.NewSpool(*out, "beacon", *gzipped, 200_000)
+		hook = func(rec beacon.Record) {
+			if werr == nil {
+				werr = spool.Write(rec)
+			}
+		}
+	}
+	r, err := pipeline.RunForeign(cfg, *threshold, 0, hook)
+	if err != nil {
+		if spool != nil {
+			spool.Close()
+		}
+		return err
+	}
+	if spool != nil {
+		if werr != nil {
+			spool.Close()
+			return fmt.Errorf("ingest: write spool: %w", werr)
+		}
+		if err := spool.Close(); err != nil {
+			return err
+		}
+		log.Printf("beacon: %d records spooled to %s", spool.Count(), *out)
+	}
+
+	for _, sensor := range r.Stats.Sensors() {
+		ss := r.Stats.PerSensor[sensor]
+		log.Printf("sensor %s: %d files, %d records, %d bad, %d filtered",
+			sensor, ss.Files, ss.Records, ss.Bad, ss.Filtered)
+	}
+	fmt.Printf("imported %d records from %d files (%d malformed, %d filtered by policy)\n",
+		r.Stats.Records, r.Stats.Files, r.Stats.Bad, r.Stats.Filtered)
+	fmt.Printf("active blocks: %d /24 + %d /48; detected cellular: %d /24 + %d /48\n",
+		r.Beacon.CountFamily(netaddr.IPv4), r.Beacon.CountFamily(netaddr.IPv6),
+		r.Detected.CountFamily(netaddr.IPv4), r.Detected.CountFamily(netaddr.IPv6))
+
+	if *out == "" {
+		return nil
+	}
+	dw, err := logio.Create(filepath.Join(*out, "demand.jsonl"))
+	if err != nil {
+		return err
+	}
+	r.Demand.Each(func(b netaddr.Block, du float64) {
+		if werr == nil {
+			werr = dw.Write(demand.BlockDU{Block: b, DU: du})
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	if err := dw.Close(); err != nil {
+		return err
+	}
+	detPath := filepath.Join(*out, "detected.jsonl")
+	det, err := logio.Create(detPath)
+	if err != nil {
+		return err
+	}
+	for b := range r.Detected {
+		if err := det.Write(struct {
+			Block string `json:"block"`
+		}{b.String()}); err != nil {
+			return err
+		}
+	}
+	if err := det.Close(); err != nil {
+		return err
+	}
+	log.Printf("wrote %s and %s", filepath.Join(*out, "demand.jsonl"), detPath)
 	return nil
 }
 

@@ -113,3 +113,63 @@ func TestClassifyLenientOnCorruptSpool(t *testing.T) {
 		t.Fatalf("classify did not tolerate corrupt lines: %v", err)
 	}
 }
+
+// TestIngest drives the foreign conn-log entry point end to end: a small
+// Zeek-style TSV tree with a subnet policy, output spool and derived
+// datasets, then the spool fed back through runClassify.
+func TestIngest(t *testing.T) {
+	logs := t.TempDir()
+	body := "#separator \\x09\n" +
+		"#fields\tts\tuid\tid.orig_h\tid.orig_p\tid.resp_h\tid.resp_p\tproto\torig_bytes\tresp_bytes\tcellspot_net_type\tcellspot_browser\n" +
+		"1482624001.5\tC1\t10.9.0.1\t1000\t203.0.113.1\t443\ttcp\t100\t900\tcellular\tchrome\n" +
+		"1482624002.5\tC2\t10.9.0.2\t1001\t203.0.113.1\t443\ttcp\t80\t700\tcellular\tchrome\n" +
+		"1482624003.5\tC3\t192.0.2.9\t1002\t203.0.113.1\t443\ttcp\t50\t400\twifi\tfirefox\n" +
+		"1482624004.5\tC4\t172.16.0.9\t1003\t203.0.113.1\t443\ttcp\t10\t90\t-\t-\n"
+	if err := os.WriteFile(filepath.Join(logs, "conn.log"), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	policyPath := filepath.Join(logs, "policy.json")
+	if err := os.WriteFile(policyPath, []byte(`{"never_include": ["172.16.0.0/12"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := t.TempDir()
+	if err := runIngest([]string{"-dir", logs, "-out", out, "-policy", policyPath}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"demand.jsonl", "detected.jsonl"} {
+		if fi, err := os.Stat(filepath.Join(out, f)); err != nil || fi.Size() == 0 {
+			t.Fatalf("missing or empty %s: %v", f, err)
+		}
+	}
+	spools, err := filepath.Glob(filepath.Join(out, "beacon-*.jsonl"))
+	if err != nil || len(spools) == 0 {
+		t.Fatalf("no beacon spool: %v", err)
+	}
+
+	// The spool is toolchain-compatible: classify consumes it directly
+	// (no truth.jsonl here, so scoring is skipped).
+	if err := runClassify([]string{"-data", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIngestFlagValidation(t *testing.T) {
+	if err := runIngest(nil); err == nil {
+		t.Error("ingest without -dir accepted")
+	}
+	logs := t.TempDir()
+	if err := os.WriteFile(filepath.Join(logs, "conn.log"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runIngest([]string{"-dir", logs, "-policy", filepath.Join(logs, "missing.json")}); err == nil {
+		t.Error("ingest with missing policy file accepted")
+	}
+	if err := runIngest([]string{"-dir", logs, "-threshold", "2"}); err == nil {
+		t.Error("ingest with out-of-range threshold accepted")
+	}
+	// Policy-less run over an empty tree succeeds with zero records.
+	if err := runIngest([]string{"-dir", logs}); err != nil {
+		t.Fatal(err)
+	}
+}

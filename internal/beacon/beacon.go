@@ -109,6 +109,22 @@ func (a *Aggregate) CountFamily(f netaddr.Family) int {
 	return n
 }
 
+// Equal reports whether two aggregates hold exactly the same per-block
+// counts — the bit-identical comparison the ingestion and live-path
+// equivalence suites are built on.
+func (a *Aggregate) Equal(other *Aggregate) bool {
+	if len(a.PerBlock) != len(other.PerBlock) {
+		return false
+	}
+	for b, c := range a.PerBlock {
+		oc := other.PerBlock[b]
+		if oc == nil || *c != *oc {
+			return false
+		}
+	}
+	return true
+}
+
 // Totals sums counts across all blocks.
 func (a *Aggregate) Totals() Counts {
 	var t Counts

@@ -93,6 +93,21 @@ func (d *Dataset) Each(fn func(netaddr.Block, float64)) {
 	}
 }
 
+// Equal reports whether two datasets hold bit-identical DU values for the
+// same block set.
+func (d *Dataset) Equal(other *Dataset) bool {
+	if len(d.du) != len(other.du) {
+		return false
+	}
+	for b, v := range d.du {
+		ov, ok := other.du[b]
+		if !ok || v != ov {
+			return false
+		}
+	}
+	return true
+}
+
 // Top returns the n highest-demand blocks in descending DU order.
 func (d *Dataset) Top(n int) []BlockDU {
 	all := make([]BlockDU, 0, len(d.du))

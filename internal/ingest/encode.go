@@ -1,0 +1,138 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+)
+
+// connColumns is the canonical column order WriteTSV emits: Entry's zeek
+// tags in declaration order, so encoder and decoder share one schema.
+var connColumns = buildColumns()
+
+func buildColumns() []string {
+	var cols []string
+	rt := reflect.TypeOf(Entry{})
+	for i := 0; i < rt.NumField(); i++ {
+		if tag := rt.Field(i).Tag.Get("zeek"); tag != "" && tag != "-" {
+			cols = append(cols, tag)
+		}
+	}
+	return cols
+}
+
+// TSVWriter writes conn entries as a Zeek-style TSV log, header included.
+// It exists for fixtures, tests and synthetic conn-log generation — the
+// production direction of this package is reading, not writing.
+type TSVWriter struct {
+	bw          *bufio.Writer
+	wroteHeader bool
+}
+
+// NewTSVWriter returns a TSV conn-log writer over w.
+func NewTSVWriter(w io.Writer) *TSVWriter {
+	return &TSVWriter{bw: bufio.NewWriterSize(w, 64<<10)}
+}
+
+func (w *TSVWriter) header() error {
+	lines := []string{
+		"#separator \\x09",
+		"#set_separator\t,",
+		"#empty_field\t" + defaultEmptyField,
+		"#unset_field\t" + defaultUnsetField,
+		"#path\tconn",
+	}
+	for _, l := range lines {
+		if _, err := w.bw.WriteString(l + "\n"); err != nil {
+			return err
+		}
+	}
+	if _, err := w.bw.WriteString("#fields"); err != nil {
+		return err
+	}
+	for _, c := range connColumns {
+		if _, err := w.bw.WriteString("\t" + c); err != nil {
+			return err
+		}
+	}
+	_, err := w.bw.WriteString("\n")
+	return err
+}
+
+// Write appends one entry as a TSV data line, emitting the header first if
+// needed.
+func (w *TSVWriter) Write(e *Entry) error {
+	if !w.wroteHeader {
+		if err := w.header(); err != nil {
+			return err
+		}
+		w.wroteHeader = true
+	}
+	rv := reflect.ValueOf(e).Elem()
+	rt := rv.Type()
+	first := true
+	for i := 0; i < rt.NumField(); i++ {
+		if tag := rt.Field(i).Tag.Get("zeek"); tag == "" || tag == "-" {
+			continue
+		}
+		if !first {
+			if err := w.bw.WriteByte('\t'); err != nil {
+				return err
+			}
+		}
+		first = false
+		if _, err := w.bw.WriteString(fieldString(rv.Field(i))); err != nil {
+			return err
+		}
+	}
+	return w.bw.WriteByte('\n')
+}
+
+// fieldString renders one field value in Zeek TSV notation.
+func fieldString(v reflect.Value) string {
+	switch v.Kind() {
+	case reflect.Struct: // Time
+		return v.Interface().(Time).epochString()
+	case reflect.String:
+		s := v.String()
+		if s == "" {
+			return defaultUnsetField
+		}
+		return s
+	case reflect.Int, reflect.Int64:
+		return strconv.FormatInt(v.Int(), 10)
+	case reflect.Float64:
+		return strconv.FormatFloat(v.Float(), 'f', 6, 64)
+	}
+	panic(fmt.Sprintf("ingest: unsupported field kind %s", v.Kind()))
+}
+
+// Close emits the trailing #close directive and flushes. The writer stays
+// usable for the header-only case (an empty log is a header plus #close).
+func (w *TSVWriter) Close() error {
+	if !w.wroteHeader {
+		if err := w.header(); err != nil {
+			return err
+		}
+		w.wroteHeader = true
+	}
+	if _, err := w.bw.WriteString("#close\n"); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// WriteJSONL writes entries as Zeek JSON-lines output.
+func WriteJSONL(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	enc := json.NewEncoder(bw)
+	for i := range entries {
+		if err := enc.Encode(&entries[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

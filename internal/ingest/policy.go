@@ -1,0 +1,92 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+)
+
+// Policy is the import-time subnet filter, RITA-style: a deployment's
+// config names address space that must always enter the pipeline and space
+// that never may (RFC1918 interconnects, the sensor's own management nets,
+// partner ranges excluded by contract). It runs at ingest, before any
+// classification, so filtered traffic never contaminates BEACON or DEMAND
+// aggregates.
+//
+// Semantics: an address matching AlwaysInclude is admitted unconditionally;
+// otherwise an address matching NeverInclude is dropped; otherwise it is
+// admitted. A nil *Policy admits everything.
+type Policy struct {
+	AlwaysInclude []netip.Prefix `json:"always_include"`
+	NeverInclude  []netip.Prefix `json:"never_include"`
+}
+
+// policyFile is the on-disk JSON shape, prefixes as strings.
+type policyFile struct {
+	AlwaysInclude []string `json:"always_include"`
+	NeverInclude  []string `json:"never_include"`
+}
+
+// ParsePolicy reads a policy from JSON:
+//
+//	{"always_include": ["100.64.0.0/10"], "never_include": ["10.0.0.0/8"]}
+func ParsePolicy(r io.Reader) (*Policy, error) {
+	var pf policyFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pf); err != nil {
+		return nil, fmt.Errorf("ingest: parse policy: %w", err)
+	}
+	p := &Policy{}
+	var err error
+	if p.AlwaysInclude, err = parsePrefixes(pf.AlwaysInclude); err != nil {
+		return nil, fmt.Errorf("ingest: policy always_include: %w", err)
+	}
+	if p.NeverInclude, err = parsePrefixes(pf.NeverInclude); err != nil {
+		return nil, fmt.Errorf("ingest: policy never_include: %w", err)
+	}
+	return p, nil
+}
+
+// LoadPolicy reads a policy file from disk.
+func LoadPolicy(path string) (*Policy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: open policy: %w", err)
+	}
+	defer f.Close()
+	return ParsePolicy(f)
+}
+
+func parsePrefixes(ss []string) ([]netip.Prefix, error) {
+	out := make([]netip.Prefix, 0, len(ss))
+	for _, s := range ss {
+		p, err := netip.ParsePrefix(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p.Masked())
+	}
+	return out, nil
+}
+
+// Admit reports whether an address passes the policy.
+func (p *Policy) Admit(addr netip.Addr) bool {
+	if p == nil {
+		return true
+	}
+	addr = addr.Unmap()
+	for _, pre := range p.AlwaysInclude {
+		if pre.Contains(addr) {
+			return true
+		}
+	}
+	for _, pre := range p.NeverInclude {
+		if pre.Contains(addr) {
+			return false
+		}
+	}
+	return true
+}

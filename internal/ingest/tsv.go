@@ -1,0 +1,220 @@
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"cellspot/internal/logio"
+)
+
+// Zeek TSV framing defaults. The #separator directive can override the
+// field separator; the unset/empty sentinels follow the header directives
+// when present.
+const (
+	defaultSeparator  = "\t"
+	defaultUnsetField = "-"
+	defaultEmptyField = "(empty)"
+)
+
+// fieldSetter assigns one TSV column value to its Entry field.
+type fieldSetter func(e *Entry, value string) error
+
+// connSetters maps zeek tag names to setters, built once by reflection over
+// Entry's zeek struct tags — adding a column to Entry is the only step
+// needed to ingest it.
+var connSetters = buildSetters()
+
+func buildSetters() map[string]fieldSetter {
+	out := make(map[string]fieldSetter)
+	rt := reflect.TypeOf(Entry{})
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		tag := f.Tag.Get("zeek")
+		if tag == "" || tag == "-" {
+			continue
+		}
+		idx := i
+		switch f.Type {
+		case reflect.TypeOf(Time{}):
+			out[tag] = func(e *Entry, v string) error {
+				t, err := parseEpoch(v)
+				if err != nil {
+					return err
+				}
+				reflect.ValueOf(e).Elem().Field(idx).Set(reflect.ValueOf(Time{t}))
+				return nil
+			}
+		case reflect.TypeOf(""):
+			out[tag] = func(e *Entry, v string) error {
+				reflect.ValueOf(e).Elem().Field(idx).SetString(v)
+				return nil
+			}
+		case reflect.TypeOf(int(0)), reflect.TypeOf(int64(0)):
+			out[tag] = func(e *Entry, v string) error {
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return fmt.Errorf("ingest: field %s: %w", f.Name, err)
+				}
+				reflect.ValueOf(e).Elem().Field(idx).SetInt(n)
+				return nil
+			}
+		case reflect.TypeOf(float64(0)):
+			out[tag] = func(e *Entry, v string) error {
+				n, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return fmt.Errorf("ingest: field %s: %w", f.Name, err)
+				}
+				reflect.ValueOf(e).Elem().Field(idx).SetFloat(n)
+				return nil
+			}
+		default:
+			panic(fmt.Sprintf("ingest: unsupported Entry field type %s", f.Type))
+		}
+	}
+	return out
+}
+
+// tsvHeader is the mutable per-file header state a Zeek TSV stream carries.
+type tsvHeader struct {
+	sep     string
+	unset   string
+	empty   string
+	columns []fieldSetter // one per #fields column; nil = unmapped column
+	mapped  bool          // a #fields directive has been seen
+}
+
+func newTSVHeader() *tsvHeader {
+	return &tsvHeader{sep: defaultSeparator, unset: defaultUnsetField, empty: defaultEmptyField}
+}
+
+// directive processes one "#..." header line.
+func (h *tsvHeader) directive(line string) error {
+	name, rest, _ := strings.Cut(line, h.sep)
+	if name == line {
+		// The #separator line itself is separated by a space, before any
+		// custom separator applies.
+		name, rest, _ = strings.Cut(line, " ")
+	}
+	switch name {
+	case "#separator":
+		sep, err := unescapeSeparator(strings.TrimSpace(rest))
+		if err != nil {
+			return err
+		}
+		h.sep = sep
+	case "#unset_field":
+		h.unset = rest
+	case "#empty_field":
+		h.empty = rest
+	case "#fields":
+		cols := strings.Split(rest, h.sep)
+		h.columns = make([]fieldSetter, len(cols))
+		for i, c := range cols {
+			h.columns[i] = connSetters[c] // nil for unknown columns
+		}
+		h.mapped = true
+	}
+	// #types, #path, #open, #close, #set_separator: framing we don't need.
+	return nil
+}
+
+// unescapeSeparator decodes the #separator value, which Zeek writes with
+// \xHH escapes (e.g. "\x09" for tab).
+func unescapeSeparator(s string) (string, error) {
+	if s == "" {
+		return "", fmt.Errorf("ingest: empty #separator")
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		if s[i] == '\\' && i+3 < len(s) && s[i+1] == 'x' {
+			v, err := strconv.ParseUint(s[i+2:i+4], 16, 8)
+			if err != nil {
+				return "", fmt.Errorf("ingest: #separator %q: %w", s, err)
+			}
+			b.WriteByte(byte(v))
+			i += 4
+			continue
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String(), nil
+}
+
+// parseLine decodes one data line under the current header into e.
+func (h *tsvHeader) parseLine(line string, e *Entry) error {
+	if !h.mapped {
+		return fmt.Errorf("ingest: data line before #fields header")
+	}
+	// Zeek writes every declared column on every line (unset ones carry
+	// the sentinel), so a count mismatch means a torn or foreign line —
+	// decoding a prefix of it would fabricate a half-empty entry.
+	vals := strings.Split(line, h.sep)
+	if len(vals) != len(h.columns) {
+		return fmt.Errorf("ingest: %d columns, #fields declared %d", len(vals), len(h.columns))
+	}
+	for i, v := range vals {
+		set := h.columns[i]
+		if set == nil || v == h.unset {
+			continue
+		}
+		if v == h.empty {
+			v = ""
+		}
+		if err := set(e, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeTSV streams conn entries from a Zeek TSV log. The #fields header
+// drives the column mapping, so reordered or extra columns are handled by
+// construction; #separator, #unset_field and #empty_field directives are
+// honored. In lenient mode malformed data lines are counted and skipped;
+// in strict mode the first one aborts. Lines are capped at
+// logio.MaxLineBytes, matching every other log reader in the system.
+func DecodeTSV(r io.Reader, lenient bool, fn func(*Entry) error) (logio.ReadStats, error) {
+	var st logio.ReadStats
+	h := newTSVHeader()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), logio.MaxLineBytes)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if line[0] == '#' {
+			if err := h.directive(line); err != nil {
+				if lenient {
+					st.Bad++
+					continue
+				}
+				return st, fmt.Errorf("ingest: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		var e Entry
+		if err := h.parseLine(line, &e); err != nil {
+			if lenient {
+				st.Bad++
+				continue
+			}
+			return st, fmt.Errorf("ingest: line %d: %w", lineNo, err)
+		}
+		if err := fn(&e); err != nil {
+			return st, err
+		}
+		st.Records++
+	}
+	if err := sc.Err(); err != nil {
+		return st, fmt.Errorf("ingest: scan: %w", err)
+	}
+	return st, nil
+}

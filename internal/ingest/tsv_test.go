@@ -1,0 +1,251 @@
+package ingest
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func decodeAll(t *testing.T, in string, lenient bool) ([]Entry, int) {
+	t.Helper()
+	var out []Entry
+	st, err := DecodeTSV(strings.NewReader(in), lenient, func(e *Entry) error {
+		out = append(out, *e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, st.Bad
+}
+
+// TestDecodeTSVGolden parses a real-shaped Zeek conn.log: full directive
+// header, #types line, unknown extra columns (missed_bytes, history),
+// unset sentinels, IPv4 and IPv6 endpoints.
+func TestDecodeTSVGolden(t *testing.T) {
+	raw, err := os.ReadFile("testdata/zeek/conn.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, bad := decodeAll(t, string(raw), false)
+	if bad != 0 || len(entries) != 4 {
+		t.Fatalf("entries=%d bad=%d, want 4/0", len(entries), bad)
+	}
+
+	e := entries[0]
+	if e.UID != "CHhAvVGS1DHFjwGM9" || e.OrigH != "10.55.100.32" || e.OrigP != 49655 ||
+		e.RespH != "203.0.113.80" || e.RespP != 443 || e.Proto != "tcp" || e.Service != "ssl" ||
+		e.OrigBytes != 3281 || e.RespBytes != 24532 || e.ConnState != "SF" ||
+		e.OrigPkts != 49 || e.RespPkts != 52 {
+		t.Errorf("entry 0 = %+v", e)
+	}
+	want := time.Unix(1482624001, 384196000).UTC()
+	if !e.TS.Equal(want) {
+		t.Errorf("entry 0 ts = %v, want %v", e.TS, want)
+	}
+
+	if entries[1].OrigH != "2001:db8:1001:2::17" {
+		t.Errorf("entry 1 orig_h = %q", entries[1].OrigH)
+	}
+
+	// Entry 2 carries unset service/duration/bytes.
+	e = entries[2]
+	if e.Service != "" || e.Duration != 0 || e.OrigBytes != 0 || e.RespBytes != 0 || e.ConnState != "S0" {
+		t.Errorf("entry 2 unset fields = %+v", e)
+	}
+
+	// No vendor columns in a plain Zeek log: no cellular label, so the
+	// derived record has no Network Information data.
+	rec, err := entries[0].Record()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.HasAPI() {
+		t.Error("plain Zeek entry claims Network Information data")
+	}
+	if rec.PageLoadMS != 12394 {
+		t.Errorf("PageLoadMS = %d, want 12394", rec.PageLoadMS)
+	}
+}
+
+// TestDecodeTSVReordered pins #fields-driven mapping: a file with columns
+// in a different order (and vendor extension columns) decodes by name.
+func TestDecodeTSVReordered(t *testing.T) {
+	raw, err := os.ReadFile("testdata/zeek/conn.reordered.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, bad := decodeAll(t, string(raw), false)
+	if bad != 0 || len(entries) != 3 {
+		t.Fatalf("entries=%d bad=%d, want 3/0", len(entries), bad)
+	}
+	e := entries[0]
+	if e.OrigH != "10.55.100.32" || e.RespH != "203.0.113.80" || e.NetType != "cellular" || e.Browser != "chrome" {
+		t.Errorf("entry 0 = %+v", e)
+	}
+	rec, err := e.Record()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.HasAPI() || rec.Conn != "cellular" {
+		t.Errorf("vendor columns lost: %+v", rec)
+	}
+	if entries[2].NetType != "" {
+		t.Errorf("unset net_type decoded as %q", entries[2].NetType)
+	}
+}
+
+func TestDecodeTSVLenientAndStrict(t *testing.T) {
+	in := "#separator \\x09\n" +
+		"#fields\tts\tuid\tid.orig_h\tid.orig_p\n" +
+		"1482624001.5\tC1\t10.0.0.1\t1000\n" +
+		"not-a-ts\tC2\t10.0.0.2\t1001\n" + // bad timestamp
+		"1482624003.5\tC3\t10.0.0.3\n" + // torn line: too few columns
+		"1482624004.5\tC4\t10.0.0.4\t1003\textra\n" + // too many columns
+		"1482624005.5\tC5\t10.0.0.5\t1004\n"
+
+	entries, bad := decodeAll(t, in, true)
+	if len(entries) != 2 || bad != 3 {
+		t.Fatalf("lenient: entries=%d bad=%d, want 2/3", len(entries), bad)
+	}
+	if entries[0].UID != "C1" || entries[1].UID != "C5" {
+		t.Errorf("lenient entries = %+v", entries)
+	}
+
+	if _, err := DecodeTSV(strings.NewReader(in), false, func(*Entry) error { return nil }); err == nil {
+		t.Fatal("strict decode accepted malformed lines")
+	}
+
+	// A data line before any #fields header cannot be mapped.
+	noHeader := "1482624001.5\tC1\t10.0.0.1\t1000\n"
+	if _, err := DecodeTSV(strings.NewReader(noHeader), false, func(*Entry) error { return nil }); err == nil {
+		t.Fatal("strict decode accepted data before #fields")
+	}
+	if entries, bad := decodeAll(t, noHeader, true); len(entries) != 0 || bad != 1 {
+		t.Fatalf("lenient headerless: entries=%d bad=%d", len(entries), bad)
+	}
+}
+
+// TestDecodeTSVCustomSeparator drives the #separator directive with a
+// non-default separator.
+func TestDecodeTSVCustomSeparator(t *testing.T) {
+	in := "#separator \\x2c\n" +
+		"#unset_field,-\n" +
+		"#fields,ts,uid,id.orig_h,id.orig_p\n" +
+		"1482624001.5,C1,10.0.0.1,1000\n"
+	entries, bad := decodeAll(t, in, false)
+	if len(entries) != 1 || bad != 0 {
+		t.Fatalf("entries=%d bad=%d", len(entries), bad)
+	}
+	if entries[0].OrigH != "10.0.0.1" || entries[0].OrigP != 1000 {
+		t.Errorf("entry = %+v", entries[0])
+	}
+}
+
+// TestEpochTimeExact pins digit-exact timestamp handling down to
+// nanoseconds — float64 parsing would corrupt the low digits.
+func TestEpochTimeExact(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Time
+	}{
+		{"1482624001.384196", time.Unix(1482624001, 384196000).UTC()},
+		{"1482624006.999999999", time.Unix(1482624006, 999999999).UTC()},
+		{"1482624006.9999999995", time.Unix(1482624006, 999999999).UTC()}, // truncated, not rounded
+		{"1482624000", time.Unix(1482624000, 0).UTC()},
+		{"0.000000001", time.Unix(0, 1).UTC()},
+		{"-1.5", time.Unix(-2, 500000000).UTC()},
+	}
+	for _, c := range cases {
+		got, err := parseEpoch(c.in)
+		if err != nil {
+			t.Errorf("parseEpoch(%q): %v", c.in, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("parseEpoch(%q) = %v, want %v", c.in, got, c.want)
+		}
+		// Round trip through the canonical notation.
+		back, err := parseEpoch(Time{got}.epochString())
+		if err != nil || !back.Equal(got) {
+			t.Errorf("round trip %q -> %q -> %v (err %v)", c.in, Time{got}.epochString(), back, err)
+		}
+	}
+	for _, bad := range []string{"", ".", "1.", "abc", "1.abc", "--1"} {
+		if _, err := parseEpoch(bad); err == nil {
+			t.Errorf("parseEpoch(%q) accepted", bad)
+		}
+	}
+}
+
+// TestTSVRoundTrip writes entries with the package encoder and reads them
+// back: every tagged field must survive bit-identically.
+func TestTSVRoundTrip(t *testing.T) {
+	in := []Entry{
+		{
+			TS: Time{time.Unix(1482624001, 384196123).UTC()}, UID: "C1",
+			OrigH: "10.1.2.3", OrigP: 50000, RespH: "203.0.113.9", RespP: 443,
+			Proto: "tcp", Service: "ssl", Duration: 1.25, OrigBytes: 10, RespBytes: 20,
+			ConnState: "SF", OrigPkts: 3, RespPkts: 4, NetType: "cellular", Browser: "chrome",
+		},
+		{
+			TS: Time{time.Unix(1482624002, 0).UTC()}, UID: "C2",
+			OrigH: "2001:db8::5", OrigP: 50001, RespH: "203.0.113.9", RespP: 80,
+			Proto: "udp",
+		},
+	}
+	var buf bytes.Buffer
+	w := NewTSVWriter(&buf)
+	for i := range in {
+		if err := w.Write(&in[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, bad := decodeAll(t, buf.String(), false)
+	if bad != 0 || len(out) != len(in) {
+		t.Fatalf("entries=%d bad=%d", len(out), bad)
+	}
+	for i := range in {
+		if !out[i].TS.Equal(in[i].TS.Time) {
+			t.Errorf("entry %d ts = %v, want %v", i, out[i].TS, in[i].TS)
+		}
+		a, b := in[i], out[i]
+		a.TS, b.TS = Time{}, Time{}
+		if a != b {
+			t.Errorf("entry %d round trip:\n got %+v\nwant %+v", i, b, a)
+		}
+	}
+
+	// JSONL round trip over the same entries.
+	var jbuf bytes.Buffer
+	if err := WriteJSONL(&jbuf, in); err != nil {
+		t.Fatal(err)
+	}
+	var jout []Entry
+	dir := t.TempDir()
+	path := dir + "/conn.jsonl"
+	if err := os.WriteFile(path, jbuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readConnFile(path, false, func(e *Entry) error { jout = append(jout, *e); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(jout) != len(in) {
+		t.Fatalf("jsonl entries = %d", len(jout))
+	}
+	for i := range in {
+		if !jout[i].TS.Equal(in[i].TS.Time) {
+			t.Errorf("jsonl entry %d ts = %v, want %v", i, jout[i].TS, in[i].TS)
+		}
+		a, b := in[i], jout[i]
+		a.TS, b.TS = Time{}, Time{}
+		if a != b {
+			t.Errorf("jsonl entry %d round trip:\n got %+v\nwant %+v", i, b, a)
+		}
+	}
+}

@@ -135,6 +135,8 @@ type Config struct {
 	//	live_refresh_seconds        tail→build→publish latency histogram
 	//	live_tailed_records_total   spool records consumed
 	//	live_stale_records_total    records dropped as older than the window
+	//	live_spool_resets_total     spool files found truncated/rewritten
+	//	live_spool_oversize_lines_total  lines skipped as over the line cap
 	//	live_window_records         records in the current window
 	//	live_window_blocks          distinct blocks in the current window
 	Metrics *obs.Registry
@@ -184,14 +186,16 @@ type Updater struct {
 	// at startup or published by us — so idle ticks can skip republishing.
 	published bool
 
-	mTicks   *obs.Counter
-	mErrors  *obs.Counter
-	mPublish *obs.Counter
-	mTailed  *obs.Counter
-	mStale   *obs.Counter
-	gRecords *obs.Gauge
-	gBlocks  *obs.Gauge
-	hRefresh *obs.Histogram
+	mTicks    *obs.Counter
+	mErrors   *obs.Counter
+	mPublish  *obs.Counter
+	mTailed   *obs.Counter
+	mStale    *obs.Counter
+	mResets   *obs.Counter
+	mOversize *obs.Counter
+	gRecords  *obs.Gauge
+	gBlocks   *obs.Gauge
+	hRefresh  *obs.Histogram
 }
 
 // NewUpdater validates cfg and recovers the updater's window and spool
@@ -214,6 +218,8 @@ func NewUpdater(cfg Config) (*Updater, error) {
 		u.mPublish = reg.Counter("live_publish_total", "Map generations published.")
 		u.mTailed = reg.Counter("live_tailed_records_total", "Spool records consumed.")
 		u.mStale = reg.Counter("live_stale_records_total", "Records dropped as older than the window.")
+		u.mResets = reg.Counter("live_spool_resets_total", "Spool files found truncated or rewritten, forcing a re-read.")
+		u.mOversize = reg.Counter("live_spool_oversize_lines_total", "Spool lines skipped as longer than the line cap.")
 		u.gRecords = reg.Gauge("live_window_records", "Records in the current window.")
 		u.gBlocks = reg.Gauge("live_window_blocks", "Distinct blocks in the current window.")
 		u.hRefresh = reg.Histogram("live_refresh_seconds", "Tail, build and publish latency of one refresh.", nil)
@@ -270,9 +276,12 @@ func (u *Updater) Tick() (Refresh, error) {
 
 func (u *Updater) tick() (Refresh, error) {
 	staleBefore := u.win.Stale()
+	resetsBefore, oversizeBefore := u.tail.Resets(), u.tail.Oversize()
 	n, err := u.tail.Poll(func(rec beacon.Record) { u.win.Add(rec) })
 	u.mTailed.Add(uint64(n))
 	u.mStale.Add(uint64(u.win.Stale() - staleBefore))
+	u.mResets.Add(uint64(u.tail.Resets() - resetsBefore))
+	u.mOversize.Add(uint64(u.tail.Oversize() - oversizeBefore))
 	u.gRecords.Set(int64(u.win.Records()))
 	if err != nil {
 		return Refresh{}, err

@@ -37,10 +37,12 @@ type FilePos struct {
 // flushed last line stays pending until its terminator arrives, so a tick
 // that races beacond's writer never sees a torn record.
 type Tailer struct {
-	dir    string
-	prefix string
-	pos    map[string]*FilePos // keyed by file base name
-	bad    int                 // malformed complete lines skipped
+	dir      string
+	prefix   string
+	pos      map[string]*FilePos // keyed by file base name
+	bad      int                 // malformed complete lines skipped
+	resets   int                 // spool files found truncated/rewritten
+	oversize int                 // complete lines skipped as over logio.MaxLineBytes
 }
 
 // NewTailer returns a tailer over dir for spool files named
@@ -51,6 +53,15 @@ func NewTailer(dir, prefix string) *Tailer {
 
 // Bad returns the number of malformed complete lines skipped so far.
 func (t *Tailer) Bad() int { return t.bad }
+
+// Resets returns how many times a spool file was found truncated or
+// rewritten (its size shrank below the tailer's checkpoint), forcing a
+// re-read from the start of the file.
+func (t *Tailer) Resets() int { return t.resets }
+
+// Oversize returns the number of complete lines skipped because they
+// exceeded logio.MaxLineBytes.
+func (t *Tailer) Oversize() int { return t.oversize }
 
 // Positions returns a copy of the per-file positions, for checkpointing.
 func (t *Tailer) Positions() map[string]FilePos {
@@ -105,12 +116,48 @@ func (t *Tailer) Poll(fn func(beacon.Record)) (int, error) {
 	return total, nil
 }
 
+// readLine reads one newline-terminated line from br, never buffering more
+// than logio.MaxLineBytes: bytes of a line beyond the cap are discarded as
+// they stream by. It returns the line (nil when oversize), the byte count
+// consumed including the terminator, whether the line was oversize, and any
+// read error. On error the line is incomplete and must not be consumed.
+func readLine(br *bufio.Reader) (line []byte, n int64, oversize bool, err error) {
+	var buf []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		n += int64(len(chunk))
+		if !oversize {
+			if len(buf)+len(chunk) > logio.MaxLineBytes {
+				oversize = true
+				buf = nil
+			} else {
+				buf = append(buf, chunk...)
+			}
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err != nil {
+			return nil, n, oversize, err
+		}
+		return buf, n, oversize, nil
+	}
+}
+
 // pollPlain seeks past the consumed prefix of a plain JSONL file and
 // decodes newly terminated lines.
 func (t *Tailer) pollPlain(path string, p *FilePos, fn func(beacon.Record)) (int, error) {
 	fi, err := os.Stat(path)
 	if err != nil {
 		return 0, err
+	}
+	if fi.Size() < p.Bytes {
+		// The file shrank below our checkpoint: it was truncated or
+		// rewritten in place. The old offset points into the middle of
+		// whatever replaced the content (or past its end), so seeking
+		// there would decode torn records. Start over.
+		t.resets++
+		*p = FilePos{}
 	}
 	if fi.Size() <= p.Bytes {
 		p.Size = fi.Size()
@@ -127,7 +174,7 @@ func (t *Tailer) pollPlain(path string, p *FilePos, fn func(beacon.Record)) (int
 	br := bufio.NewReaderSize(f, 64<<10)
 	n := 0
 	for {
-		line, err := br.ReadBytes('\n')
+		line, nb, oversize, err := readLine(br)
 		if err != nil {
 			// io.EOF with a partial line: leave it unconsumed; any other
 			// read error likewise retries from the same offset next poll.
@@ -137,8 +184,12 @@ func (t *Tailer) pollPlain(path string, p *FilePos, fn func(beacon.Record)) (int
 			p.Size = fi.Size()
 			return n, err
 		}
-		p.Bytes += int64(len(line))
+		p.Bytes += nb
 		p.Lines++
+		if oversize {
+			t.oversize++
+			continue
+		}
 		if rec, ok := t.decode(line); ok {
 			fn(rec)
 			n++
@@ -147,13 +198,21 @@ func (t *Tailer) pollPlain(path string, p *FilePos, fn func(beacon.Record)) (int
 }
 
 // pollGzip re-decodes a gzip spool file from the start, skipping the lines
-// consumed by earlier polls. Decode errors mean the file is still being
+// consumed by earlier polls. Truncation errors mean the file is still being
 // written (beacond seals the gzip stream only on rotation or shutdown);
-// progress made so far is kept and the rest retried next poll.
+// progress made so far is kept and the rest retried next poll. Any other
+// error — corruption, transient disk I/O — leaves the position untouched so
+// the next poll retries instead of silently abandoning unread records.
 func (t *Tailer) pollGzip(path string, p *FilePos, fn func(beacon.Record)) (int, error) {
 	fi, err := os.Stat(path)
 	if err != nil {
 		return 0, err
+	}
+	if fi.Size() < p.Size {
+		// Rewritten with less content: the consumed line count no longer
+		// describes this file. Re-read it from scratch.
+		t.resets++
+		*p = FilePos{}
 	}
 	if fi.Size() == p.Size {
 		return 0, nil
@@ -165,31 +224,52 @@ func (t *Tailer) pollGzip(path string, p *FilePos, fn func(beacon.Record)) (int,
 	defer f.Close()
 	zr, err := gzip.NewReader(f)
 	if err != nil {
-		// Header not flushed yet; nothing to read.
-		return 0, nil
+		if isTruncation(err) {
+			// Header not flushed yet; nothing to read.
+			return 0, nil
+		}
+		return 0, err
 	}
 	defer zr.Close()
 	br := bufio.NewReaderSize(zr, 64<<10)
 	skip := p.Lines
 	n := 0
 	for {
-		line, err := br.ReadBytes('\n')
+		line, _, oversize, err := readLine(br)
 		if err != nil {
-			// Clean EOF or a truncated deflate stream mid-write: either
-			// way the complete lines we decoded are consumed for good.
-			p.Size = fi.Size()
-			return n, nil
+			if isTruncation(err) {
+				// Clean EOF or a truncated deflate stream mid-write: the
+				// complete lines we decoded are consumed for good, and
+				// recording the size skips re-decoding until the file grows.
+				p.Size = fi.Size()
+				return n, nil
+			}
+			// Not truncation: a later poll may still be able to read the
+			// rest (transient I/O fault, or a writer completing in place at
+			// the same size). Leave p.Size behind fi.Size() so it retries.
+			return n, err
 		}
 		if skip > 0 {
 			skip--
 			continue
 		}
 		p.Lines++
+		if oversize {
+			t.oversize++
+			continue
+		}
 		if rec, ok := t.decode(line); ok {
 			fn(rec)
 			n++
 		}
 	}
+}
+
+// isTruncation reports whether a gzip-path read error means "the writer has
+// not finished this stream yet" — the expected state of a spool shard that
+// is still being written — as opposed to corruption or an I/O fault.
+func isTruncation(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
 // decode parses one complete line; blank or malformed lines are skipped

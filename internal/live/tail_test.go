@@ -1,0 +1,341 @@
+package live
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cellspot/internal/beacon"
+	"cellspot/internal/logio"
+)
+
+// tailRecord builds a distinguishable beacon record: the host octet of the
+// IP encodes id, so tests can assert exactly which records were decoded.
+func tailRecord(id int) beacon.Record {
+	return beacon.Record{
+		Time:    time.Date(2016, 12, 25, 12, 0, id, 0, time.UTC),
+		IP:      netip.AddrFrom4([4]byte{10, 0, byte(id / 250), byte(id % 250)}),
+		Conn:    "cellular",
+		Browser: "chrome",
+	}
+}
+
+func writeJSONLines(t *testing.T, path string, recs []beacon.Record) {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range recs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func recIDs(recs []beacon.Record) []int {
+	ids := make([]int, len(recs))
+	for i, r := range recs {
+		a := r.IP.As4()
+		ids[i] = int(a[2])*250 + int(a[3])
+	}
+	return ids
+}
+
+// TestTailerPlainTruncateRewrite pins the shrink-detection fix: a plain
+// spool file rewritten with shorter content, then grown past the stale
+// checkpoint, must be re-read from the start — the pre-fix tailer kept the
+// old byte offset and decoded torn records out of the middle of the new
+// content.
+func TestTailerPlainTruncateRewrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "beacon-0000.jsonl")
+
+	first := []beacon.Record{tailRecord(1), tailRecord(2), tailRecord(3), tailRecord(4)}
+	writeJSONLines(t, path, first)
+
+	tl := NewTailer(dir, "beacon")
+	var got []beacon.Record
+	n, err := tl.Poll(func(r beacon.Record) { got = append(got, r) })
+	if err != nil || n != 4 {
+		t.Fatalf("first poll: n=%d err=%v", n, err)
+	}
+
+	// Rewrite the file with fewer, different records — shorter than the
+	// consumed offset. The next poll must notice the shrink and re-read
+	// from the start; the pre-fix tailer kept the stale offset.
+	second := []beacon.Record{tailRecord(10), tailRecord(11)}
+	writeJSONLines(t, path, second)
+	got = nil
+	n, err = tl.Poll(func(r beacon.Record) { got = append(got, r) })
+	if err != nil {
+		t.Fatalf("post-rewrite poll: %v", err)
+	}
+	if n != 2 || recIDs(got)[0] != 10 || recIDs(got)[1] != 11 {
+		t.Fatalf("post-rewrite poll consumed %v, want [10 11]", recIDs(got))
+	}
+	if tl.Resets() != 1 {
+		t.Errorf("Resets = %d, want 1", tl.Resets())
+	}
+
+	// Now the file regrows past the stale pre-fix checkpoint. The pre-fix
+	// tailer would seek into the middle of the new content here and decode
+	// torn records; the fixed one continues from its reset position.
+	third := append(append([]beacon.Record{}, second...),
+		tailRecord(12), tailRecord(13), tailRecord(14), tailRecord(15))
+	writeJSONLines(t, path, third)
+	got = nil
+	n, err = tl.Poll(func(r beacon.Record) { got = append(got, r) })
+	if err != nil {
+		t.Fatalf("regrow poll: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("regrow poll consumed %d records (%v), want 4", n, recIDs(got))
+	}
+	for i, id := range recIDs(got) {
+		if id != 12+i {
+			t.Fatalf("regrow records = %v, want 12..15 in order", recIDs(got))
+		}
+	}
+	if tl.Bad() != 0 {
+		t.Errorf("Bad = %d: rewrite decoded torn records", tl.Bad())
+	}
+}
+
+// TestTailerPlainShrinkOnly covers shrink without regrowth: the next poll
+// must reset and consume the rewritten (shorter) content instead of
+// treating the file as fully consumed.
+func TestTailerPlainShrinkOnly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "beacon-0000.jsonl")
+	writeJSONLines(t, path, []beacon.Record{tailRecord(1), tailRecord(2), tailRecord(3)})
+
+	tl := NewTailer(dir, "beacon")
+	if n, err := tl.Poll(func(beacon.Record) {}); err != nil || n != 3 {
+		t.Fatalf("first poll: n=%d err=%v", n, err)
+	}
+
+	writeJSONLines(t, path, []beacon.Record{tailRecord(7)})
+	var got []beacon.Record
+	n, err := tl.Poll(func(r beacon.Record) { got = append(got, r) })
+	if err != nil || n != 1 {
+		t.Fatalf("shrunk poll: n=%d err=%v", n, err)
+	}
+	if ids := recIDs(got); ids[0] != 7 {
+		t.Fatalf("records = %v, want [7]", ids)
+	}
+	if tl.Resets() != 1 {
+		t.Errorf("Resets = %d, want 1", tl.Resets())
+	}
+}
+
+// gzipMember returns one complete gzip member holding the records.
+func gzipMember(t *testing.T, recs []beacon.Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	for _, r := range recs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zw.Write(b)
+		zw.Write([]byte{'\n'})
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTailerGzipRewrite pins the gzip shrink fix: a .gz shard rewritten
+// with different content must be re-read from line zero — the pre-fix
+// tailer skipped its stale line count against the new content.
+func TestTailerGzipRewrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "beacon-0000.jsonl.gz")
+
+	if err := os.WriteFile(path, gzipMember(t, []beacon.Record{
+		tailRecord(1), tailRecord(2), tailRecord(3), tailRecord(4), tailRecord(5),
+	}), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTailer(dir, "beacon")
+	if n, err := tl.Poll(func(beacon.Record) {}); err != nil || n != 5 {
+		t.Fatalf("first poll: n=%d err=%v", n, err)
+	}
+
+	// Rewrite with three different records: smaller compressed size, so
+	// the shrink is detectable.
+	if err := os.WriteFile(path, gzipMember(t, []beacon.Record{
+		tailRecord(20), tailRecord(21), tailRecord(22),
+	}), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got []beacon.Record
+	n, err := tl.Poll(func(r beacon.Record) { got = append(got, r) })
+	if err != nil {
+		t.Fatalf("post-rewrite poll: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("post-rewrite poll consumed %d records (%v), want 3", n, recIDs(got))
+	}
+	for i, id := range recIDs(got) {
+		if id != 20+i {
+			t.Fatalf("post-rewrite records = %v, want 20..22", recIDs(got))
+		}
+	}
+	if tl.Resets() != 1 {
+		t.Errorf("Resets = %d, want 1", tl.Resets())
+	}
+}
+
+// TestTailerGzipErrorNotEOF pins the error-conflation fix: a decode error
+// that is NOT truncation (here: a second gzip member whose bytes are still
+// garbage) must leave the position untouched so a later poll re-reads the
+// file — the pre-fix tailer recorded the file size as consumed, and when
+// the file was completed in place at the same size, the remaining records
+// were never read.
+func TestTailerGzipErrorNotEOF(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "beacon-0000.jsonl.gz")
+
+	member1 := gzipMember(t, []beacon.Record{tailRecord(1), tailRecord(2)})
+	member2 := gzipMember(t, []beacon.Record{tailRecord(3), tailRecord(4), tailRecord(5)})
+
+	// State 1: member1 sealed, member2's bytes not yet written — the
+	// writer has reserved the space but the content is garbage (0xFF can
+	// never start a gzip header, so this reads as corruption, not EOF).
+	garbage := bytes.Repeat([]byte{0xFF}, len(member2))
+	if err := os.WriteFile(path, append(append([]byte{}, member1...), garbage...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tl := NewTailer(dir, "beacon")
+	var got []beacon.Record
+	n, err := tl.Poll(func(r beacon.Record) { got = append(got, r) })
+	if err == nil {
+		t.Fatal("poll over corrupt gzip tail reported success")
+	}
+	if n != 2 {
+		t.Fatalf("poll before completion consumed %d records, want 2", n)
+	}
+
+	// State 2: the file is completed in place — same size, valid bytes.
+	if err := os.WriteFile(path, append(append([]byte{}, member1...), member2...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	n, err = tl.Poll(func(r beacon.Record) { got = append(got, r) })
+	if err != nil {
+		t.Fatalf("poll after completion: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("poll after completion consumed %d records (%v), want the 3 from member2", n, recIDs(got))
+	}
+	for i, id := range recIDs(got) {
+		if id != 3+i {
+			t.Fatalf("records = %v, want 3..5", recIDs(got))
+		}
+	}
+}
+
+// TestTailerGzipTruncationStillTolerated guards the pre-existing behavior
+// the error-conflation fix must not break: a truncated deflate stream
+// (writer mid-flush) is not an error, and consumed lines stay consumed.
+func TestTailerGzipTruncationStillTolerated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "beacon-0000.jsonl.gz")
+	member := gzipMember(t, []beacon.Record{tailRecord(1), tailRecord(2), tailRecord(3)})
+
+	// Cut inside the deflate stream: complete lines may or may not be
+	// recoverable, but the poll must not error.
+	if err := os.WriteFile(path, member[:len(member)-6], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl := NewTailer(dir, "beacon")
+	n1, err := tl.Poll(func(beacon.Record) {})
+	if err != nil {
+		t.Fatalf("truncated poll errored: %v", err)
+	}
+	if err := os.WriteFile(path, member, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := tl.Poll(func(beacon.Record) {})
+	if err != nil {
+		t.Fatalf("completed poll errored: %v", err)
+	}
+	if n1+n2 != 3 {
+		t.Fatalf("polls consumed %d+%d records, want 3 total with no duplicates", n1, n2)
+	}
+}
+
+// TestTailerOversizeLine pins the line-cap fix: one corrupt spool line
+// beyond logio.MaxLineBytes must be skipped and counted, not buffered
+// whole, and the records around it must still be decoded.
+func TestTailerOversizeLine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("writes a >16MB spool line")
+	}
+	dir := t.TempDir()
+
+	mkLines := func() []byte {
+		var buf bytes.Buffer
+		b1, _ := json.Marshal(tailRecord(1))
+		b2, _ := json.Marshal(tailRecord(2))
+		buf.Write(b1)
+		buf.WriteByte('\n')
+		buf.WriteString(`{"junk":"` + strings.Repeat("a", logio.MaxLineBytes) + `"}` + "\n")
+		buf.Write(b2)
+		buf.WriteByte('\n')
+		return buf.Bytes()
+	}
+
+	// Plain shard.
+	if err := os.WriteFile(filepath.Join(dir, "beacon-0000.jsonl"), mkLines(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Gzip shard with the same content.
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write(mkLines())
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "beacon-0001.jsonl.gz"), gz.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tl := NewTailer(dir, "beacon")
+	var got []beacon.Record
+	n, err := tl.Poll(func(r beacon.Record) { got = append(got, r) })
+	if err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("poll consumed %d records (%v), want 4", n, recIDs(got))
+	}
+	if tl.Oversize() != 2 {
+		t.Errorf("Oversize = %d, want 2 (one per shard)", tl.Oversize())
+	}
+	if tl.Bad() != 0 {
+		t.Errorf("Bad = %d, want 0: the oversize line must be counted separately", tl.Bad())
+	}
+
+	// Nothing new: a second poll consumes nothing and does not re-count.
+	if n, err := tl.Poll(func(beacon.Record) {}); err != nil || n != 0 {
+		t.Fatalf("idle poll: n=%d err=%v", n, err)
+	}
+	if tl.Oversize() != 2 {
+		t.Errorf("idle poll re-counted oversize lines: %d", tl.Oversize())
+	}
+}

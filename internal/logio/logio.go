@@ -95,11 +95,12 @@ func (w *FileWriter) Close() error {
 	return errors.Join(errs...)
 }
 
-// maxLineBytes bounds one JSONL line. A longer line aborts the scan with
+// MaxLineBytes bounds one JSONL line. A longer line aborts the scan with
 // bufio.ErrTooLong in strict AND lenient modes: the scanner cannot
 // re-synchronize past a token it cannot buffer, so the failure is not a
-// skippable line.
-const maxLineBytes = 16 << 20
+// skippable line. The live tailer and the ingest importer enforce the same
+// cap, so no reader of spooled or foreign logs buffers an unbounded line.
+const MaxLineBytes = 16 << 20
 
 // ReadStats reports what a lenient read encountered.
 type ReadStats struct {
@@ -114,7 +115,7 @@ type ReadStats struct {
 func Decode[T any](r io.Reader, lenient bool, fn func(T) error) (ReadStats, error) {
 	var st ReadStats
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64<<10), maxLineBytes)
+	sc.Buffer(make([]byte, 0, 64<<10), MaxLineBytes)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -222,7 +223,28 @@ func (s *Spool) Close() error {
 	return err
 }
 
-// SpoolFiles lists a spool's shard files in order.
+// IsShardName reports whether name is a shard of the named spool: exactly
+// <prefix>-NNNN.jsonl[.gz] with four or more digits. The exact match keeps
+// spools with a common prefix apart ("rum" must not tail "rum-extra"'s
+// shards) and excludes leftovers like half-written ".jsonl.tmp" files.
+func IsShardName(name, prefix string) bool {
+	rest, ok := strings.CutPrefix(name, prefix+"-")
+	if !ok {
+		return false
+	}
+	digits := 0
+	for digits < len(rest) && rest[digits] >= '0' && rest[digits] <= '9' {
+		digits++
+	}
+	if digits < 4 {
+		return false
+	}
+	ext := rest[digits:]
+	return ext == ".jsonl" || ext == ".jsonl.gz"
+}
+
+// SpoolFiles lists a spool's shard files in order. Only exact shard names
+// (see IsShardName) are included.
 func SpoolFiles(dir, prefix string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -230,14 +252,10 @@ func SpoolFiles(dir, prefix string) ([]string, error) {
 	}
 	var out []string
 	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasPrefix(name, prefix+"-") {
+		if e.IsDir() || !IsShardName(e.Name(), prefix) {
 			continue
 		}
-		if !strings.Contains(name, ".jsonl") {
-			continue
-		}
-		out = append(out, filepath.Join(dir, name))
+		out = append(out, filepath.Join(dir, e.Name()))
 	}
 	sort.Strings(out)
 	return out, nil

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 )
@@ -213,6 +214,47 @@ func TestSpoolFilesIgnoresForeign(t *testing.T) {
 	}
 }
 
+// TestSpoolFilesTwoSpoolsOneDir pins the exact shard pattern: a spool
+// prefix must not pick up shards of a longer-prefixed spool sharing the
+// directory, nor half-written .tmp leftovers or non-numeric shard names.
+func TestSpoolFilesTwoSpoolsOneDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{
+		"rum-0000.jsonl",
+		"rum-0001.jsonl.gz",
+		"rum-10000.jsonl", // shard counter past four digits still belongs
+		"rum-extra-0000.jsonl",
+		"rum-extra-0001.jsonl.gz",
+		"rum-0002.jsonl.tmp",
+		"rum-0003.jsonl.gz.tmp",
+		"rum-abc.jsonl",
+		"rum-00.jsonl",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := SpoolFiles(dir, "rum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		filepath.Join(dir, "rum-0000.jsonl"),
+		filepath.Join(dir, "rum-0001.jsonl.gz"),
+		filepath.Join(dir, "rum-10000.jsonl"),
+	}
+	if !slices.Equal(files, want) {
+		t.Fatalf("files = %v, want %v", files, want)
+	}
+	extra, err := SpoolFiles(dir, "rum-extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(extra) != 2 {
+		t.Fatalf("rum-extra files = %v", extra)
+	}
+}
+
 func TestSpoolFilesMissingDir(t *testing.T) {
 	if _, err := SpoolFiles("/nonexistent/spool", "x"); err == nil {
 		t.Error("missing dir accepted")
@@ -224,7 +266,7 @@ func TestSpoolFilesMissingDir(t *testing.T) {
 // mode may skip malformed lines, but a line the scanner cannot even
 // tokenize is not skippable, exactly like gzip-layer corruption.
 func TestDecodeOversizeLine(t *testing.T) {
-	oversize := `{"name":"` + strings.Repeat("a", maxLineBytes) + `"}`
+	oversize := `{"name":"` + strings.Repeat("a", MaxLineBytes) + `"}`
 	for _, lenient := range []bool{false, true} {
 		in := strings.NewReader(`{"id":1}` + "\n" + oversize + "\n" + `{"id":2}` + "\n")
 		st, err := Decode(in, lenient, func(rec) error { return nil })
