@@ -1,25 +1,35 @@
 // Command beacond runs the RUM beacon collector: the HTTP endpoint behind
 // the paper's BEACON dataset. It accepts NDJSON beacon batches on
 // POST /v1/beacons, aggregates them per /24 and /48 block, optionally
-// spools raw records to disk, reports counters on GET /v1/stats, and
-// serves Prometheus metrics on GET /metrics.
+// spools raw records to disk, reports counters on GET /v1/stats and spool
+// shipping progress on GET /v1/spool/stats, answers liveness probes on
+// GET /v1/healthz, and serves Prometheus metrics on GET /metrics.
+//
+// With -ship-to the collector joins a federation: a shipper goroutine
+// watches the spool for sealed shards and ships them to a cellmapd
+// aggregator (-federation-listen on the other side), checkpointing its
+// offsets so a restart never re-ships acknowledged bytes.
 //
 // Usage:
 //
 //	beacond [-addr :8780] [-spool DIR] [-gzip] [-spool-max-records N]
+//	        [-ship-to URL -collector-id ID [-ship-interval D] [-ship-segment-bytes N]]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
+	"cellspot/internal/federation"
 	"cellspot/internal/logio"
 	"cellspot/internal/obs"
 	"cellspot/internal/obs/httpmw"
@@ -41,10 +51,22 @@ func run() int {
 	gzipped := flag.Bool("gzip", false, "gzip spool files")
 	spoolMax := flag.Int("spool-max-records", 500_000, "records per spool file before rotating")
 	token := flag.String("token", "", "require this bearer token on beacon posts")
+	shipTo := flag.String("ship-to", "", "ship sealed spool shards to this aggregator base URL (requires -spool and -collector-id)")
+	collectorID := flag.String("collector-id", "", "this collector's identity in shipped manifests")
+	shipInterval := flag.Duration("ship-interval", federation.DefaultShipInterval, "spool shipping poll interval")
+	shipSegBytes := flag.Int("ship-segment-bytes", federation.DefaultSegmentBytes, "target shipped segment size in bytes")
 	flag.Parse()
 
 	if *spoolMax <= 0 {
 		log.Printf("-spool-max-records must be > 0, got %d", *spoolMax)
+		return 2
+	}
+	if *shipTo != "" && *spoolDir == "" {
+		log.Print("-ship-to requires -spool: only spooled records can be shipped")
+		return 2
+	}
+	if (*shipTo != "") != (*collectorID != "") {
+		log.Print("-ship-to and -collector-id go together")
 		return 2
 	}
 
@@ -58,8 +80,48 @@ func run() int {
 	}
 	col := rum.NewCollector(opts...)
 
+	var shipper *federation.Shipper
+	if *shipTo != "" {
+		var err error
+		shipper, err = federation.NewShipper(federation.ShipperConfig{
+			SpoolDir:     *spoolDir,
+			CollectorID:  *collectorID,
+			Target:       *shipTo,
+			SegmentBytes: *shipSegBytes,
+			Interval:     *shipInterval,
+			Metrics:      reg,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+	}
+
 	mux := httpmw.NewMux(reg)
 	col.MountRoutes(mux)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/spool/stats", func(w http.ResponseWriter, _ *http.Request) {
+		var st federation.SpoolStats
+		var err error
+		switch {
+		case shipper != nil:
+			st, err = shipper.Stats()
+		case *spoolDir != "":
+			st, err = federation.ScanSpool(*spoolDir, "beacon")
+		}
+		if err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st)
+	})
 	mux.Handle("GET /metrics", reg.Handler())
 
 	srv := &http.Server{
@@ -76,6 +138,16 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var wg sync.WaitGroup
+	if shipper != nil {
+		log.Printf("shipping %s spool to %s as %s", *spoolDir, *shipTo, *collectorID)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			shipper.Run(ctx)
+		}()
+	}
 
 	exit := 0
 	errc := make(chan error, 1)
@@ -99,6 +171,8 @@ func run() int {
 			exit = 1
 		}
 	}
+	stop() // unblock the shipper before waiting on it
+	wg.Wait()
 	// A spool-close failure must not suppress the final stats line: log
 	// it, still emit the summary, and report the failure in the exit code.
 	if err := col.Close(); err != nil {

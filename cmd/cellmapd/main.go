@@ -7,6 +7,10 @@
 // on POST /v1/reload, or by polling the store (-poll, jittered ±10%). With
 // -live-spool it additionally embeds the refresh loop itself, tailing a
 // beacond spool and publishing a new generation every -refresh interval.
+// With -federation-listen it instead aggregates a fleet: a second listener
+// accepts sealed-shard segments shipped by remote beacond collectors
+// (-ship-to on their side), folds them exactly once into a multi-source
+// window, and publishes generations on the same -refresh cadence.
 //
 // The daemon also has two cluster roles. As a shard node it serves only
 // its partition of the keyspace and refuses misrouted addresses; as a
@@ -15,6 +19,7 @@
 //
 //	cellmapd -map cellmap.jsonl [-addr :8781]
 //	cellmapd -snapshots DIR [-poll 10s] [-live-spool SPOOLDIR -refresh 30s]
+//	cellmapd -snapshots DIR -federation-listen :8791 [-refresh 30s]
 //	cellmapd -cluster -shard i/N -topology FILE -snapshots DIR
 //	cellmapd -gateway -topology FILE
 //
@@ -44,6 +49,7 @@ import (
 	"cellspot/internal/classify"
 	"cellspot/internal/cluster"
 	"cellspot/internal/demand"
+	"cellspot/internal/federation"
 	"cellspot/internal/live"
 	"cellspot/internal/netaddr"
 	"cellspot/internal/obs"
@@ -68,6 +74,7 @@ func run() int {
 	poll := flag.Duration("poll", 10*time.Second, "snapshot store polling interval (0 disables polling)")
 	jitterSeedFlag := flag.Uint64("poll-jitter-seed", 0, "seed for the ±10% poll jitter (0 derives one from host+pid)")
 	liveSpool := flag.String("live-spool", "", "embed the live refresh loop, tailing this beacond spool directory")
+	fedListen := flag.String("federation-listen", "", "accept federated spool segments from remote collectors on this address")
 	livePrefix := flag.String("live-prefix", live.DefaultSpoolPrefix, "spool file prefix tailed by the live refresh loop")
 	refresh := flag.Duration("refresh", live.DefaultInterval, "live refresh interval")
 	windowDays := flag.Int("window-days", live.DefaultWindowDays, "sliding aggregation window in days")
@@ -106,6 +113,14 @@ func run() int {
 	}
 	if *liveSpool != "" && *snapDir == "" {
 		log.Print("-live-spool requires -snapshots (generations must be published somewhere)")
+		return 2
+	}
+	if *fedListen != "" && *snapDir == "" {
+		log.Print("-federation-listen requires -snapshots (generations must be published somewhere)")
+		return 2
+	}
+	if *fedListen != "" && *liveSpool != "" {
+		log.Print("-federation-listen and -live-spool are mutually exclusive: one updater owns the store")
 		return 2
 	}
 	if *mapPath == "" && *snapDir == "" {
@@ -204,6 +219,67 @@ func run() int {
 		go func() {
 			defer wg.Done()
 			u.Run(ctx)
+		}()
+	}
+
+	// Federation aggregation: a second listener receives sealed-shard
+	// segments from remote collectors; the receiver folds them exactly
+	// once and publishes generations into the store the poller above is
+	// watching.
+	if *fedListen != "" {
+		inputs, err := liveInputs(*worldSeed, *worldScale)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		recv, err := federation.NewReceiver(federation.ReceiverConfig{
+			WindowDays: *windowDays,
+			Threshold:  *threshold,
+			Inputs:     inputs,
+			Store:      store,
+			Keep:       *keep,
+			Interval:   *refresh,
+			Metrics:    reg,
+			Logf:       log.Printf,
+		})
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		fedMux := httpmw.NewMux(reg)
+		recv.MountRoutes(fedMux)
+		fedSrv := &http.Server{
+			Addr:    *fedListen,
+			Handler: fedMux,
+			// Segments run to ~17 MiB; give slow collector uplinks time,
+			// but never a stuck one forever.
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       120 * time.Second,
+			WriteTimeout:      30 * time.Second,
+			IdleTimeout:       120 * time.Second,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			log.Printf("federation listening on %s", *fedListen)
+			if err := fedSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("federation listener: %v", err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-ctx.Done()
+			shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := fedSrv.Shutdown(shutCtx); err != nil {
+				log.Printf("federation shutdown: %v", err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			recv.Run(ctx)
 		}()
 	}
 

@@ -1,0 +1,70 @@
+package federation
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// BenchmarkShipperThroughput measures the full federation hot path: a
+// shipper cutting sealed shards into segments and POSTing them through a
+// real HTTP round-trip into a receiver that verifies digests and folds
+// records into the multi-source window. Each iteration drains the same
+// prepared spool into a fresh aggregation plane. Reported extras:
+// segments/s, MB/s of payload, records/s, and the receiver-side mean fold
+// latency per segment (µs/fold).
+func BenchmarkShipperThroughput(b *testing.B) {
+	recs := genRecords(20_000, 17000, 6)
+	spool := b.TempDir()
+	writeSpool(b, spool, recs, 5000, false)
+
+	var segments, payloadBytes, records int64
+	var foldSecs float64
+	var folds uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := newPlane(b, b.TempDir())
+		s, err := NewShipper(ShipperConfig{
+			SpoolDir:     spool,
+			CollectorID:  "bench",
+			Target:       p.srv.URL,
+			StateFile:    filepath.Join(b.TempDir(), "shipper.json"),
+			SegmentBytes: DefaultSegmentBytes,
+			MaxAttempts:  4,
+			RetryBase:    time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		rep, err := s.PollOnce(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		b.StopTimer()
+		if rep.Records != len(recs) {
+			b.Fatalf("shipped %d records, want %d", rep.Records, len(recs))
+		}
+		segments += int64(rep.Segments)
+		payloadBytes += rep.Bytes
+		records += int64(rep.Records)
+		fold := p.reg.Histogram("federation_recv_fold_seconds", "", nil)
+		foldSecs += fold.Sum()
+		folds += fold.Count()
+		p.srv.Close()
+		b.StartTimer()
+	}
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(segments)/elapsed, "segments/s")
+		b.ReportMetric(float64(payloadBytes)/1e6/elapsed, "MB/s")
+		b.ReportMetric(float64(records)/elapsed, "records/s")
+	}
+	if folds > 0 {
+		b.ReportMetric(foldSecs/float64(folds)*1e6, "µs/fold")
+	}
+}

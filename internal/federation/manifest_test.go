@@ -1,0 +1,108 @@
+package federation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func validManifest(payload []byte) Manifest {
+	return Manifest{
+		Format:    ManifestFormat,
+		Collector: "eu-1",
+		Shard:     "beacon-0000.jsonl",
+		Offset:    0,
+		Length:    int64(len(payload)),
+		SHA256:    Digest(payload),
+		Records:   2,
+		ShardSize: int64(len(payload)) + 100,
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	payload := []byte("{\"ts\":\"2017-01-01T00:00:00Z\"}\n{\"ts\":\"2017-01-02T00:00:00Z\"}\n")
+	m := validManifest(payload)
+	var buf bytes.Buffer
+	if err := EncodeSegment(&buf, m, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, gotPayload, err := DecodeSegment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("manifest round-trip: got %+v, want %+v", got, m)
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Fatal("payload round-trip diverges")
+	}
+}
+
+func TestEncodeSegmentLengthMismatch(t *testing.T) {
+	m := validManifest([]byte("xx\n"))
+	m.Length = 99
+	if err := EncodeSegment(&bytes.Buffer{}, m, []byte("xx\n")); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	payload := []byte("x\n")
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+	}{
+		{"wrong format", func(m *Manifest) { m.Format = "cellspot-manifest/99" }},
+		{"empty collector", func(m *Manifest) { m.Collector = "" }},
+		{"collector with slash", func(m *Manifest) { m.Collector = "eu/1" }},
+		{"collector with space", func(m *Manifest) { m.Collector = "eu 1" }},
+		{"shard with path", func(m *Manifest) { m.Shard = "../beacon-0000.jsonl" }},
+		{"negative offset", func(m *Manifest) { m.Offset = -1 }},
+		{"negative length", func(m *Manifest) { m.Length = -1; m.SHA256 = "" }},
+		{"range overruns shard", func(m *Manifest) { m.ShardSize = m.Length - 1 }},
+		{"oversized length", func(m *Manifest) { m.Length = MaxSegmentBytes + 1; m.ShardSize = m.Length }},
+		{"short digest", func(m *Manifest) { m.SHA256 = "abcd" }},
+		{"non-hex digest", func(m *Manifest) { m.SHA256 = strings.Repeat("zz", 32) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := validManifest(payload)
+			tc.mutate(&m)
+			if err := m.Validate(); err == nil {
+				t.Fatalf("%s accepted", tc.name)
+			}
+		})
+	}
+	m := validManifest(payload)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid manifest rejected: %v", err)
+	}
+	probe := m
+	probe.Length, probe.SHA256 = 0, ""
+	if err := probe.Validate(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	if !probe.IsProbe() || m.IsProbe() {
+		t.Fatal("IsProbe misclassifies")
+	}
+}
+
+func TestDecodeSegmentRejectsOversizedManifest(t *testing.T) {
+	line := strings.Repeat("a", MaxManifestBytes+1) + "\n"
+	if _, _, err := DecodeSegment(strings.NewReader(line)); err == nil {
+		t.Fatal("oversized manifest line accepted")
+	}
+}
+
+func TestDecodeSegmentShortPayload(t *testing.T) {
+	payload := []byte("hello\n")
+	m := validManifest(payload)
+	var buf bytes.Buffer
+	if err := EncodeSegment(&buf, m, payload); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, _, err := DecodeSegment(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}

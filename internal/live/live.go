@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"time"
 
 	"cellspot/internal/aschar"
@@ -135,6 +134,9 @@ type Config struct {
 	//	live_refresh_seconds        tail→build→publish latency histogram
 	//	live_tailed_records_total   spool records consumed
 	//	live_stale_records_total    records dropped as older than the window
+	//	live_window_stragglers_total  records dropped on arrival as already
+	//	                            older than the window (late/out-of-order
+	//	                            days; see Window's retention contract)
 	//	live_spool_resets_total     spool files found truncated/rewritten
 	//	live_spool_oversize_lines_total  lines skipped as over the line cap
 	//	live_window_records         records in the current window
@@ -186,16 +188,17 @@ type Updater struct {
 	// at startup or published by us — so idle ticks can skip republishing.
 	published bool
 
-	mTicks    *obs.Counter
-	mErrors   *obs.Counter
-	mPublish  *obs.Counter
-	mTailed   *obs.Counter
-	mStale    *obs.Counter
-	mResets   *obs.Counter
-	mOversize *obs.Counter
-	gRecords  *obs.Gauge
-	gBlocks   *obs.Gauge
-	hRefresh  *obs.Histogram
+	mTicks      *obs.Counter
+	mErrors     *obs.Counter
+	mPublish    *obs.Counter
+	mTailed     *obs.Counter
+	mStale      *obs.Counter
+	mStragglers *obs.Counter
+	mResets     *obs.Counter
+	mOversize   *obs.Counter
+	gRecords    *obs.Gauge
+	gBlocks     *obs.Gauge
+	hRefresh    *obs.Histogram
 }
 
 // NewUpdater validates cfg and recovers the updater's window and spool
@@ -218,6 +221,7 @@ func NewUpdater(cfg Config) (*Updater, error) {
 		u.mPublish = reg.Counter("live_publish_total", "Map generations published.")
 		u.mTailed = reg.Counter("live_tailed_records_total", "Spool records consumed.")
 		u.mStale = reg.Counter("live_stale_records_total", "Records dropped as older than the window.")
+		u.mStragglers = reg.Counter("live_window_stragglers_total", "Records dropped on arrival as already older than the window (late or out-of-order days).")
 		u.mResets = reg.Counter("live_spool_resets_total", "Spool files found truncated or rewritten, forcing a re-read.")
 		u.mOversize = reg.Counter("live_spool_oversize_lines_total", "Spool lines skipped as longer than the line cap.")
 		u.gRecords = reg.Gauge("live_window_records", "Records in the current window.")
@@ -275,11 +279,12 @@ func (u *Updater) Tick() (Refresh, error) {
 }
 
 func (u *Updater) tick() (Refresh, error) {
-	staleBefore := u.win.Stale()
+	staleBefore, stragglersBefore := u.win.Stale(), u.win.Stragglers()
 	resetsBefore, oversizeBefore := u.tail.Resets(), u.tail.Oversize()
 	n, err := u.tail.Poll(func(rec beacon.Record) { u.win.Add(rec) })
 	u.mTailed.Add(uint64(n))
 	u.mStale.Add(uint64(u.win.Stale() - staleBefore))
+	u.mStragglers.Add(uint64(u.win.Stragglers() - stragglersBefore))
 	u.mResets.Add(uint64(u.tail.Resets() - resetsBefore))
 	u.mOversize.Add(uint64(u.tail.Oversize() - oversizeBefore))
 	u.gRecords.Set(int64(u.win.Records()))
@@ -354,27 +359,15 @@ func (u *Updater) Run(ctx context.Context) error {
 	}
 }
 
-// checkpoint state serialization. Buckets and blocks are sorted so the
-// bytes are deterministic for a given window state.
+// checkpoint state serialization. Buckets and blocks are sorted (see
+// encodeBuckets) so the bytes are deterministic for a given window state.
 
 type checkpointState struct {
 	Format     string             `json:"format"`
 	WindowDays int                `json:"window_days"`
 	Latest     int64              `json:"latest_day"`
-	Buckets    []dayState         `json:"buckets"`
+	Buckets    []DayState         `json:"buckets"`
 	Files      map[string]FilePos `json:"files"`
-}
-
-type dayState struct {
-	Day    int64        `json:"day"`
-	Blocks []blockState `json:"blocks"`
-}
-
-type blockState struct {
-	Block string `json:"block"` // netaddr.FormatIndex token
-	Hits  int    `json:"hits"`
-	API   int    `json:"api"`
-	Cell  int    `json:"cell"`
 }
 
 func (u *Updater) checkpoint() ([]byte, error) {
@@ -382,32 +375,11 @@ func (u *Updater) checkpoint() ([]byte, error) {
 		Format:     checkpointFormat,
 		WindowDays: u.win.days,
 		Latest:     u.win.latest,
+		Buckets:    encodeBuckets(u.win.buckets),
 		Files:      u.tail.Positions(),
 	}
 	if !u.win.nonEmpty {
 		st.Latest = 0
-	}
-	days := make([]int64, 0, len(u.win.buckets))
-	for day := range u.win.buckets {
-		days = append(days, day)
-	}
-	sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
-	for _, day := range days {
-		b := u.win.buckets[day]
-		ds := dayState{Day: day}
-		blocks := make([]netaddr.Block, 0, len(b.agg.PerBlock))
-		for blk := range b.agg.PerBlock {
-			blocks = append(blocks, blk)
-		}
-		netaddr.SortBlocks(blocks)
-		for _, blk := range blocks {
-			c := b.agg.PerBlock[blk]
-			ds.Blocks = append(ds.Blocks, blockState{
-				Block: netaddr.FormatIndex(blk),
-				Hits:  c.Hits, API: c.API, Cell: c.Cell,
-			})
-		}
-		st.Buckets = append(st.Buckets, ds)
 	}
 	return json.Marshal(st)
 }
@@ -427,15 +399,12 @@ func (u *Updater) recover(gen snapshot.Generation) error {
 		return fmt.Errorf("unknown checkpoint format %q", st.Format)
 	}
 	win := NewWindow(u.cfg.WindowDays)
-	for _, ds := range st.Buckets {
-		for _, bs := range ds.Blocks {
-			blk, err := netaddr.ParseIndex(bs.Block)
-			if err != nil {
-				return fmt.Errorf("bucket day %d: %w", ds.Day, err)
-			}
-			win.restoreCounts(ds.Day, blk, bs.Hits, bs.API, bs.Cell)
-		}
+	buckets, records, err := decodeBuckets(st.Buckets)
+	if err != nil {
+		return err
 	}
+	win.buckets = buckets
+	win.records = records
 	if len(st.Buckets) > 0 || st.Latest != 0 {
 		win.latest = st.Latest
 		win.nonEmpty = true
@@ -445,20 +414,6 @@ func (u *Updater) recover(gen snapshot.Generation) error {
 	u.tail = NewTailer(u.cfg.SpoolDir, u.cfg.SpoolPrefix)
 	u.tail.Restore(st.Files)
 	return nil
-}
-
-// restoreCounts re-creates one block's bucket tally from a checkpoint.
-// Hits approximates the bucket's record count exactly, because the live
-// path adds one hit per record.
-func (w *Window) restoreCounts(day int64, blk netaddr.Block, hits, api, cell int) {
-	b := w.buckets[day]
-	if b == nil {
-		b = &dayBucket{agg: beacon.NewAggregate()}
-		w.buckets[day] = b
-	}
-	b.agg.Add(blk, hits, api, cell)
-	b.records += hits
-	w.records += hits
 }
 
 // ReadGenerationMap loads the published map of a generation.

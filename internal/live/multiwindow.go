@@ -1,0 +1,276 @@
+package live
+
+import (
+	"fmt"
+	"sort"
+
+	"cellspot/internal/beacon"
+	"cellspot/internal/netaddr"
+)
+
+// DayState is one day bucket of a window, serialized for a checkpoint.
+// Blocks are sorted so the bytes are deterministic for a given state.
+type DayState struct {
+	Day    int64        `json:"day"`
+	Blocks []BlockState `json:"blocks"`
+}
+
+// BlockState is one block's tally inside a day bucket.
+type BlockState struct {
+	Block string `json:"block"` // netaddr.FormatIndex token
+	Hits  int    `json:"hits"`
+	API   int    `json:"api"`
+	Cell  int    `json:"cell"`
+}
+
+// encodeBuckets serializes day buckets in ascending day order with sorted
+// blocks — the deterministic layout both the live checkpoint and the
+// federation checkpoint use.
+func encodeBuckets(buckets map[int64]*dayBucket) []DayState {
+	days := make([]int64, 0, len(buckets))
+	for day := range buckets {
+		days = append(days, day)
+	}
+	sort.Slice(days, func(i, j int) bool { return days[i] < days[j] })
+	out := make([]DayState, 0, len(days))
+	for _, day := range days {
+		b := buckets[day]
+		ds := DayState{Day: day}
+		blocks := make([]netaddr.Block, 0, len(b.agg.PerBlock))
+		for blk := range b.agg.PerBlock {
+			blocks = append(blocks, blk)
+		}
+		netaddr.SortBlocks(blocks)
+		for _, blk := range blocks {
+			c := b.agg.PerBlock[blk]
+			ds.Blocks = append(ds.Blocks, BlockState{
+				Block: netaddr.FormatIndex(blk),
+				Hits:  c.Hits, API: c.API, Cell: c.Cell,
+			})
+		}
+		out = append(out, ds)
+	}
+	return out
+}
+
+// decodeBuckets rebuilds a bucket map from its serialized form.
+func decodeBuckets(states []DayState) (map[int64]*dayBucket, int, error) {
+	buckets := make(map[int64]*dayBucket, len(states))
+	records := 0
+	for _, ds := range states {
+		b := buckets[ds.Day]
+		if b == nil {
+			b = &dayBucket{agg: beacon.NewAggregate()}
+			buckets[ds.Day] = b
+		}
+		for _, bs := range ds.Blocks {
+			blk, err := netaddr.ParseIndex(bs.Block)
+			if err != nil {
+				return nil, 0, fmt.Errorf("bucket day %d: %w", ds.Day, err)
+			}
+			// Hits equals the bucket's record count exactly, because the
+			// live path adds one hit per record.
+			b.agg.Add(blk, bs.Hits, bs.API, bs.Cell)
+			b.records += bs.Hits
+			records += bs.Hits
+		}
+	}
+	return buckets, records, nil
+}
+
+// MultiWindow is the federation plane's sliding window: per-day BEACON
+// buckets like Window, but kept per source collector so a fleet's
+// observations stay attributable — per-collector record counts, straggler
+// detection, and a checkpoint that restores each collector's contribution
+// exactly.
+//
+// The anchor is global: the newest day observed across ALL sources, and
+// every source's buckets older than anchor-span are pruned. The merged
+// aggregate is therefore bit-identical to folding the same records through
+// one single-source Window — source attribution never perturbs the
+// published map, which is what makes a federated build comparable to a
+// single-collector offline build. A collector lagging more than the window
+// span behind the fleet's newest day sees its records counted as
+// stragglers, exactly as Window does (see Window's retention contract).
+type MultiWindow struct {
+	days       int
+	latest     int64
+	nonEmpty   bool
+	sources    map[string]map[int64]*dayBucket
+	records    int
+	stale      int
+	stragglers int
+}
+
+// NewMultiWindow returns an empty multi-source window spanning the given
+// number of days (DefaultWindowDays when days <= 0).
+func NewMultiWindow(days int) *MultiWindow {
+	if days <= 0 {
+		days = DefaultWindowDays
+	}
+	return &MultiWindow{days: days, sources: make(map[string]map[int64]*dayBucket)}
+}
+
+// Days returns the window span in days.
+func (m *MultiWindow) Days() int { return m.days }
+
+func (m *MultiWindow) oldest() int64 { return m.latest - int64(m.days) + 1 }
+
+// Add folds one record from the named source into its day bucket,
+// advancing the global anchor when the record opens a newer day. It
+// reports false when the record is older than the window and was dropped.
+func (m *MultiWindow) Add(source string, rec beacon.Record) bool {
+	day := epochDay(rec.Time)
+	if !m.nonEmpty {
+		m.latest = day
+		m.nonEmpty = true
+	}
+	if day > m.latest {
+		m.latest = day
+		m.prune()
+	}
+	if day < m.oldest() {
+		m.stale++
+		m.stragglers++
+		return false
+	}
+	buckets := m.sources[source]
+	if buckets == nil {
+		buckets = make(map[int64]*dayBucket)
+		m.sources[source] = buckets
+	}
+	b := buckets[day]
+	if b == nil {
+		b = &dayBucket{agg: beacon.NewAggregate()}
+		buckets[day] = b
+	}
+	b.agg.AddRecord(rec)
+	b.records++
+	m.records++
+	return true
+}
+
+// prune drops buckets of every source that fell out of the window.
+func (m *MultiWindow) prune() {
+	min := m.oldest()
+	for src, buckets := range m.sources {
+		for day, b := range buckets {
+			if day < min {
+				m.records -= b.records
+				m.stale += b.records
+				delete(buckets, day)
+			}
+		}
+		if len(buckets) == 0 {
+			delete(m.sources, src)
+		}
+	}
+}
+
+// Records returns the number of records in retained buckets, all sources.
+func (m *MultiWindow) Records() int { return m.records }
+
+// RecordsBySource returns per-collector retained record counts.
+func (m *MultiWindow) RecordsBySource() map[string]int {
+	out := make(map[string]int, len(m.sources))
+	for src, buckets := range m.sources {
+		n := 0
+		for _, b := range buckets {
+			n += b.records
+		}
+		out[src] = n
+	}
+	return out
+}
+
+// Stale returns the number of records dropped as older than the window,
+// on arrival or by a later slide.
+func (m *MultiWindow) Stale() int { return m.stale }
+
+// Stragglers returns the number of records dropped on arrival as older
+// than the window (see Window's retention contract).
+func (m *MultiWindow) Stragglers() int { return m.stragglers }
+
+// Merged returns the aggregate over every retained bucket of every source.
+// Counts are integers, so the merge is identical regardless of source,
+// bucket, or arrival order — and identical to a single-source Window fed
+// the same records.
+func (m *MultiWindow) Merged() *beacon.Aggregate {
+	out := beacon.NewAggregate()
+	for _, buckets := range m.sources {
+		for _, b := range buckets {
+			out.Merge(b.agg)
+		}
+	}
+	return out
+}
+
+// Period labels the window for the published map, same scheme as Window.
+func (m *MultiWindow) Period() string {
+	if !m.nonEmpty {
+		return "live:empty"
+	}
+	w := Window{days: m.days, latest: m.latest, nonEmpty: true}
+	return w.Period()
+}
+
+// MultiWindowState is a MultiWindow serialized for a checkpoint. Sources
+// are sorted by collector ID and buckets by day, so the encoding is
+// deterministic for a given window state.
+type MultiWindowState struct {
+	Days     int           `json:"window_days"`
+	Latest   int64         `json:"latest_day"`
+	NonEmpty bool          `json:"non_empty"`
+	Sources  []SourceState `json:"sources"`
+}
+
+// SourceState is one collector's retained buckets.
+type SourceState struct {
+	Collector string     `json:"collector"`
+	Buckets   []DayState `json:"buckets"`
+}
+
+// State serializes the window. Straggler/stale tallies are process-local
+// observability, not window content, and are not part of the state.
+func (m *MultiWindow) State() MultiWindowState {
+	st := MultiWindowState{Days: m.days, Latest: m.latest, NonEmpty: m.nonEmpty}
+	srcs := make([]string, 0, len(m.sources))
+	for src := range m.sources {
+		srcs = append(srcs, src)
+	}
+	sort.Strings(srcs)
+	for _, src := range srcs {
+		st.Sources = append(st.Sources, SourceState{
+			Collector: src,
+			Buckets:   encodeBuckets(m.sources[src]),
+		})
+	}
+	return st
+}
+
+// RestoreMultiWindow rebuilds a window from its serialized state. days
+// overrides the span when > 0 (a restart may narrow the window; the
+// restored state is pruned to fit).
+func RestoreMultiWindow(st MultiWindowState, days int) (*MultiWindow, error) {
+	if days <= 0 {
+		days = st.Days
+	}
+	m := NewMultiWindow(days)
+	for _, ss := range st.Sources {
+		buckets, records, err := decodeBuckets(ss.Buckets)
+		if err != nil {
+			return nil, fmt.Errorf("live: restore source %q: %w", ss.Collector, err)
+		}
+		if len(buckets) == 0 {
+			continue
+		}
+		m.sources[ss.Collector] = buckets
+		m.records += records
+	}
+	if st.NonEmpty {
+		m.latest = st.Latest
+		m.nonEmpty = true
+		m.prune() // the restored span may be narrower than the checkpoint's
+	}
+	return m, nil
+}

@@ -32,13 +32,29 @@ func epochDay(t time.Time) int64 {
 // multiset, never on arrival order: a record survives into Merged exactly
 // when its day lies within the final window, because late-arriving old
 // records land in buckets that pruning removes wholesale.
+//
+// Retention contract: with the anchor at day A and a span of D days, the
+// window retains exactly the days (A-D, A]. A record can leave the window
+// two ways, and the window counts them separately:
+//
+//   - pruned: its day was inside the window when it arrived, and a later
+//     record advanced the anchor past it. Normal retention — the record had
+//     its chance to be served.
+//   - straggler: it arrived already older than A-D+1 (a delayed collector,
+//     a clock-skewed device, an out-of-order day in a shipped shard) and
+//     was dropped on arrival, never contributing to any published map.
+//
+// Stale() reports the sum of both; Stragglers() isolates the second, which
+// is the signal a federated deployment watches — a collector whose shipped
+// days consistently straggle is lagging beyond the window span.
 type Window struct {
-	days    int
-	latest  int64 // newest epoch day observed; meaningless until nonEmpty
-	nonEmpty bool
-	buckets map[int64]*dayBucket
-	records int // records across retained buckets
-	stale   int // records dropped on arrival as older than the window
+	days       int
+	latest     int64 // newest epoch day observed; meaningless until nonEmpty
+	nonEmpty   bool
+	buckets    map[int64]*dayBucket
+	records    int // records across retained buckets
+	stale      int // records dropped: stragglers + records pruned by a slide
+	stragglers int // records dropped on arrival as older than the window
 }
 
 type dayBucket struct {
@@ -76,6 +92,7 @@ func (w *Window) Add(rec beacon.Record) bool {
 	}
 	if day < w.oldest() {
 		w.stale++
+		w.stragglers++
 		return false
 	}
 	b := w.buckets[day]
@@ -107,6 +124,12 @@ func (w *Window) Records() int { return w.records }
 // Stale returns the number of records dropped as older than the window,
 // whether on arrival or by a later advance of the window.
 func (w *Window) Stale() int { return w.stale }
+
+// Stragglers returns the number of records dropped on arrival because
+// their day was already older than the window — out-of-order or delayed
+// data that never contributed to any published map, as opposed to records
+// pruned by normal retention. See the retention contract on Window.
+func (w *Window) Stragglers() int { return w.stragglers }
 
 // Merged returns the aggregate over every retained day bucket. Counts are
 // integers, so the merge is identical regardless of bucket or arrival

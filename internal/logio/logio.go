@@ -69,7 +69,9 @@ func Create(path string) (*FileWriter, error) {
 		return nil, fmt.Errorf("logio: create %s: %w", path, err)
 	}
 	fw := &FileWriter{f: f}
-	if strings.HasSuffix(path, ".gz") {
+	// An active spool shard carries a .part suffix; compression is decided
+	// by the name it will seal to.
+	if strings.HasSuffix(strings.TrimSuffix(path, PartSuffix), ".gz") {
 		fw.gz = gzip.NewWriter(f)
 		fw.Writer = NewWriter(fw.gz)
 	} else {
@@ -88,6 +90,27 @@ func (w *FileWriter) Close() error {
 		if err := w.gz.Close(); err != nil {
 			errs = append(errs, err)
 		}
+	}
+	if err := w.f.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// closeSync is Close plus an fsync before the file descriptor goes away, so
+// a rename that follows publishes only durable bytes.
+func (w *FileWriter) closeSync() error {
+	var errs []error
+	if err := w.Flush(); err != nil {
+		errs = append(errs, err)
+	}
+	if w.gz != nil {
+		if err := w.gz.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := w.f.Sync(); err != nil {
+		errs = append(errs, err)
 	}
 	if err := w.f.Close(); err != nil {
 		errs = append(errs, err)
@@ -161,8 +184,27 @@ func DecodeFile[T any](path string, lenient bool, fn func(T) error) (ReadStats, 
 	return Decode(r, lenient, fn)
 }
 
+// PartSuffix marks an actively written, not yet sealed shard file. Part
+// files never match IsShardName, so spool readers (the live tailer, the
+// federation shipper) only ever observe complete, sealed shards.
+const PartSuffix = ".part"
+
 // Spool writes a long record stream sharded across numbered files in a
 // directory, rotating after maxPerFile records.
+//
+// Shards are sealed atomically: the active shard is written as
+// <name>.jsonl[.gz].part and renamed to its final name — after an fsync —
+// only when it is complete (rotation or Close). A reader that sees a shard
+// name therefore sees all of its bytes; a crash mid-write leaves only a
+// .part file behind, never a sealed-but-short shard. The price is that
+// records in the active shard are invisible until it seals.
+//
+// A spool pointed at a directory that already holds sealed shards resumes
+// numbering after the highest existing shard instead of truncating it —
+// a restarted collector must never rewrite bytes a reader (or a shipper's
+// checkpoint) has already consumed. Orphaned .part files from a crashed
+// writer are swept at first write: their records were never visible, so
+// removing them keeps the "sealed means durable and immutable" contract.
 type Spool struct {
 	dir        string
 	prefix     string
@@ -171,6 +213,7 @@ type Spool struct {
 	cur        *FileWriter
 	shard      int
 	total      int
+	inited     bool
 }
 
 // NewSpool creates a spool writing files named <prefix>-NNNN.jsonl[.gz]
@@ -178,6 +221,12 @@ type Spool struct {
 func NewSpool(dir, prefix string, gzipped bool, maxPerFile int) *Spool {
 	return &Spool{dir: dir, prefix: prefix, gzip: gzipped, maxPerFile: maxPerFile}
 }
+
+// Dir returns the spool directory.
+func (s *Spool) Dir() string { return s.dir }
+
+// Prefix returns the spool's shard name prefix.
+func (s *Spool) Prefix() string { return s.prefix }
 
 func (s *Spool) shardPath(i int) string {
 	ext := ".jsonl"
@@ -187,10 +236,48 @@ func (s *Spool) shardPath(i int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("%s-%04d%s", s.prefix, i, ext))
 }
 
+// init scans the spool directory once: resume numbering after existing
+// sealed shards and sweep .part debris from a crashed writer.
+func (s *Spool) init() error {
+	s.inited = true
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil // fresh directory; Create will make it
+		}
+		return fmt.Errorf("logio: scan spool dir %s: %w", s.dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if IsShardName(name, s.prefix) {
+			var idx int
+			if _, err := fmt.Sscanf(strings.TrimPrefix(name, s.prefix+"-"), "%d", &idx); err == nil && idx >= s.shard {
+				s.shard = idx + 1
+			}
+			continue
+		}
+		if strings.HasPrefix(name, s.prefix+"-") && strings.HasSuffix(name, PartSuffix) &&
+			IsShardName(strings.TrimSuffix(name, PartSuffix), s.prefix) {
+			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+				return fmt.Errorf("logio: sweep %s: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
 // Write appends one record, rotating shards as needed.
 func (s *Spool) Write(v any) error {
+	if !s.inited {
+		if err := s.init(); err != nil {
+			return err
+		}
+	}
 	if s.cur == nil {
-		fw, err := Create(s.shardPath(s.shard))
+		fw, err := Create(s.shardPath(s.shard) + PartSuffix)
 		if err != nil {
 			return err
 		}
@@ -201,26 +288,36 @@ func (s *Spool) Write(v any) error {
 	}
 	s.total++
 	if s.maxPerFile > 0 && s.cur.Count() >= s.maxPerFile {
-		if err := s.cur.Close(); err != nil {
-			return err
-		}
-		s.cur = nil
-		s.shard++
+		return s.seal()
 	}
+	return nil
+}
+
+// seal finishes the active shard: flush, fsync, close, and rename the
+// .part file to its sealed name in one atomic step.
+func (s *Spool) seal() error {
+	final := s.shardPath(s.shard)
+	if err := s.cur.closeSync(); err != nil {
+		s.cur = nil
+		return err
+	}
+	s.cur = nil
+	if err := os.Rename(final+PartSuffix, final); err != nil {
+		return fmt.Errorf("logio: seal %s: %w", filepath.Base(final), err)
+	}
+	s.shard++
 	return nil
 }
 
 // Count returns the total number of records written across shards.
 func (s *Spool) Count() int { return s.total }
 
-// Close finishes the current shard.
+// Close seals the current shard.
 func (s *Spool) Close() error {
 	if s.cur == nil {
 		return nil
 	}
-	err := s.cur.Close()
-	s.cur = nil
-	return err
+	return s.seal()
 }
 
 // IsShardName reports whether name is a shard of the named spool: exactly

@@ -255,6 +255,104 @@ func TestSpoolFilesTwoSpoolsOneDir(t *testing.T) {
 	}
 }
 
+// TestSpoolSealsAtomically: a crash mid-write (spool abandoned without
+// Close) must leave no sealed-but-short shard — only a .part file that no
+// spool reader picks up. This is the contract the live tailer and the
+// federation shipper rely on: a sealed shard name implies a complete shard.
+func TestSpoolSealsAtomically(t *testing.T) {
+	dir := t.TempDir()
+	sp := NewSpool(dir, "beacon", false, 100)
+	for i := 0; i < 60; i++ { // under maxPerFile: shard 0 never rotates
+		if err := sp.Write(rec{ID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: no Close. The 60 records live only in beacon-0000.jsonl.part.
+	files, err := SpoolFiles(dir, "beacon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Fatalf("mid-write crash left sealed shards: %v", files)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "beacon-0000.jsonl"+PartSuffix)); err != nil {
+		t.Fatalf("active .part file missing: %v", err)
+	}
+
+	// A restarted writer sweeps the debris and the spool stays consistent:
+	// every sealed shard is complete, no .part survives a clean Close.
+	sp2 := NewSpool(dir, "beacon", false, 100)
+	for i := 0; i < 150; i++ {
+		if err := sp2.Write(rec{ID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, err = SpoolFiles(dir, "beacon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 { // 100 + 50
+		t.Fatalf("sealed shards = %v, want 2", files)
+	}
+	n := 0
+	if _, err := DecodeSpool(dir, "beacon", false, func(rec) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 150 {
+		t.Fatalf("decoded %d records, want 150 (short shard sealed?)", n)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), PartSuffix) {
+			t.Fatalf(".part survived a clean Close: %s", e.Name())
+		}
+	}
+}
+
+// TestSpoolResumesNumbering: a restarted collector must append new shards
+// after the existing ones, never truncate a sealed shard in place — sealed
+// bytes may already be consumed by a tailer checkpoint or shipped by a
+// federation shipper.
+func TestSpoolResumesNumbering(t *testing.T) {
+	dir := t.TempDir()
+	sp := NewSpool(dir, "beacon", false, 10)
+	for i := 0; i < 25; i++ {
+		if err := sp.Write(rec{ID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Close(); err != nil { // seals beacon-0000..0002
+		t.Fatal(err)
+	}
+	sp2 := NewSpool(dir, "beacon", false, 10)
+	if err := sp2.Write(rec{ID: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files, err := SpoolFiles(dir, "beacon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 4 || !strings.HasSuffix(files[3], "beacon-0003.jsonl") {
+		t.Fatalf("files = %v, want resume at beacon-0003", files)
+	}
+	var ids []int
+	if _, err := DecodeSpool(dir, "beacon", false, func(r rec) error { ids = append(ids, r.ID); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 26 || ids[25] != 100 {
+		t.Fatalf("replay = %d records, last %d", len(ids), ids[len(ids)-1])
+	}
+}
+
 func TestSpoolFilesMissingDir(t *testing.T) {
 	if _, err := SpoolFiles("/nonexistent/spool", "x"); err == nil {
 		t.Error("missing dir accepted")
