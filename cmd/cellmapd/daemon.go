@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"cellspot/internal/cellmap"
+	"cellspot/internal/history"
 	"cellspot/internal/live"
 	"cellspot/internal/snapshot"
 )
@@ -25,6 +26,7 @@ import (
 type daemon struct {
 	sw      *cellmap.Swappable
 	store   *snapshot.Store // nil in static -map mode
+	hist    *history.Index  // nil in static -map mode; set after boot
 	mapPath string          // "" when only a store is configured
 	logf    func(string, ...any)
 
@@ -87,6 +89,14 @@ func (d *daemon) reload(force bool) (swapped bool, err error) {
 			}
 			d.sw.Swap(lm, cur.Seq)
 			d.logf("swapped to generation %d: %d prefixes, period %s", cur.Seq, lm.Len(), lm.Period)
+			// Bring the history index's metadata view up to the swap: new
+			// generation added, pruned ones dropped. Failure is not fatal
+			// to serving — history answers catch up on their own rescan.
+			if d.hist != nil {
+				if err := d.hist.Refresh(); err != nil {
+					d.logf("history refresh: %v", err)
+				}
+			}
 			return true, nil
 		}
 		if ok || d.mapPath == "" {

@@ -50,6 +50,7 @@ import (
 	"cellspot/internal/cluster"
 	"cellspot/internal/demand"
 	"cellspot/internal/federation"
+	"cellspot/internal/history"
 	"cellspot/internal/live"
 	"cellspot/internal/netaddr"
 	"cellspot/internal/obs"
@@ -148,6 +149,18 @@ func run() int {
 	log.Printf("serving %s: %d prefixes, period %s, generation %d", source, m.Len(), m.Period, gen)
 	d.sw.EnableMetrics(reg)
 
+	// With a snapshot store behind the daemon, every retained generation is
+	// servable: the history index answers gen=N lookups and timelines.
+	if store != nil {
+		hist, err := history.New(history.Config{Store: store, Metrics: reg})
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		d.hist = hist
+		log.Printf("history index over %d retained generations", len(hist.Generations()))
+	}
+
 	mux := httpmw.NewMux(reg)
 	if *clusterMode {
 		topo, err := cluster.LoadTopology(*topoPath)
@@ -166,8 +179,14 @@ func run() int {
 			return 2
 		}
 		view.EnableMetrics(reg)
-		cluster.MountShard(mux, view)
+		if d.hist != nil {
+			cluster.MountShardHistory(mux, view, d.hist)
+		} else {
+			cluster.MountShard(mux, view)
+		}
 		log.Printf("cluster node: shard %d of %d", id, topo.NumShards())
+	} else if d.hist != nil {
+		history.Mount(mux, d.sw, d.hist)
 	} else {
 		cellmap.MountSource(mux, d.sw)
 	}

@@ -19,6 +19,11 @@
 //	    subdirectory per sensor), classify the measured traffic, and
 //	    optionally write a beacon spool + derived datasets for the rest of
 //	    the toolchain (classify, cellmapd -live-spool)
+//	cellspot evolve   [-scenario NAME] [-out DIR] [-months 6] [-seed N] [-scale S] [-threshold 0.5] [-keep K] [-list]
+//	    run a named evolution scenario (5G rollout, operator merger, CGNAT
+//	    expansion, ...) over a generated world, print the monthly churn
+//	    report, and with -out publish each month as a snapshot generation
+//	    that cellmapd's /v1/history endpoint can replay
 package main
 
 import (
@@ -35,11 +40,13 @@ import (
 	"cellspot/internal/cellmap"
 	"cellspot/internal/classify"
 	"cellspot/internal/demand"
+	"cellspot/internal/evolve"
 	"cellspot/internal/ingest"
 	"cellspot/internal/logio"
 	"cellspot/internal/netaddr"
 	"cellspot/internal/pipeline"
 	"cellspot/internal/report"
+	"cellspot/internal/snapshot"
 	"cellspot/internal/world"
 )
 
@@ -65,6 +72,8 @@ func main() {
 		err = runCountry(os.Args[2:])
 	case "ingest":
 		err = runIngest(os.Args[2:])
+	case "evolve":
+		err = runEvolve(os.Args[2:])
 	default:
 		usage()
 	}
@@ -74,7 +83,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cellspot <gen|classify|summary|export|lookup|country|ingest> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: cellspot <gen|classify|summary|export|lookup|country|ingest|evolve> [flags]")
 	os.Exit(2)
 }
 
@@ -473,6 +482,85 @@ func runIngest(args []string) error {
 		return err
 	}
 	log.Printf("wrote %s and %s", filepath.Join(*out, "demand.jsonl"), detPath)
+	return nil
+}
+
+// runEvolve runs a named evolution scenario, prints the offline churn
+// report, and (with -out) publishes each month as one snapshot generation
+// so a cellmapd pointed at the store serves the scenario's history.
+func runEvolve(args []string) error {
+	fs := flag.NewFlagSet("evolve", flag.ExitOnError)
+	name := fs.String("scenario", "baseline", "scenario name (see -list)")
+	list := fs.Bool("list", false, "list available scenarios and exit")
+	out := fs.String("out", "", "snapshot store directory to publish monthly generations into")
+	months := fs.Int("months", 6, "months to simulate")
+	seed := fs.Uint64("seed", 11, "evolution seed")
+	scale := fs.Float64("scale", 0.002, "fraction of paper-scale block counts")
+	threshold := fs.Float64("threshold", classify.DefaultThreshold, "cellular ratio threshold")
+	keep := fs.Int("keep", 0, "prune the store to this many generations after publishing (0 = keep all)")
+	fs.Parse(args)
+
+	if *list {
+		t := report.NewTable("Evolution scenarios", "Name", "Description")
+		for _, sc := range evolve.Scenarios() {
+			t.Row(sc.Name, sc.Description)
+		}
+		return t.Render(os.Stdout)
+	}
+	sc, ok := evolve.ScenarioByName(*name)
+	if !ok {
+		return fmt.Errorf("evolve: unknown scenario %q (try -list)", *name)
+	}
+
+	wcfg := world.DefaultConfig()
+	wcfg.Scale = *scale
+	wcfg.Seed = *seed
+	w, err := world.Generate(wcfg)
+	if err != nil {
+		return err
+	}
+	cfg := evolve.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Months = *months
+	cfg.Threshold = *threshold
+	run, err := evolve.RunScenario(w, sc, cfg)
+	if err != nil {
+		return err
+	}
+
+	mt := report.NewTable(fmt.Sprintf("Scenario %q — monthly maps", sc.Name),
+		"Month", "Prefixes", "Cell DU", "5G share")
+	for i, m := range run.Maps {
+		five := "-"
+		if s, ok := evolve.FiveGShare(m); ok {
+			five = report.Pct(s, 1)
+		}
+		mt.Row(run.Months[i].String(), report.Int(m.Len()), report.F(m.TotalDU(), 1), five)
+	}
+	if err := mt.Render(os.Stdout); err != nil {
+		return err
+	}
+	ct := report.NewTable("Month-over-month churn", "From", "To", "Added", "Removed", "Moved")
+	for _, mc := range run.MapChurns() {
+		ct.Row(mc.FromPeriod, mc.ToPeriod, report.Int(mc.Added), report.Int(mc.Removed), report.Int(mc.Moved))
+	}
+	if err := ct.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	if *out == "" {
+		return nil
+	}
+	store, err := snapshot.Open(*out)
+	if err != nil {
+		return err
+	}
+	seqs, err := run.Publish(store, *keep)
+	if err != nil {
+		return err
+	}
+	log.Printf("published %d generations into %s (seq %d..%d); serve with: cellmapd -snapshots %s",
+		len(seqs), *out, seqs[0], seqs[len(seqs)-1], *out)
 	return nil
 }
 

@@ -30,6 +30,7 @@ type Record struct {
 	Time       time.Time  `json:"ts"`
 	IP         netip.Addr `json:"ip"`
 	Conn       string     `json:"conn,omitempty"` // Network Information token; empty when the API is absent
+	RAT        string     `json:"rat,omitempty"`  // radio generation ("3g"/"4g"/"5g") on cellular-labeled hits; empty on legacy logs
 	Browser    string     `json:"browser"`
 	PageLoadMS int        `json:"plt_ms"`
 }
@@ -37,11 +38,32 @@ type Record struct {
 // HasAPI reports whether the hit carried Network Information data.
 func (r Record) HasAPI() bool { return r.Conn != "" }
 
-// Counts tallies one block's beacon activity.
+// Counts tallies one block's beacon activity. The per-RAT fields split
+// Cell by radio generation; logs predating the RAT column leave them zero
+// (RATKnown() == 0 with Cell > 0 marks a legacy tally).
 type Counts struct {
-	Hits int `json:"hits"` // all beacon responses
-	API  int `json:"api"`  // responses with Network Information data
-	Cell int `json:"cell"` // responses labeled cellular
+	Hits   int `json:"hits"`              // all beacon responses
+	API    int `json:"api"`               // responses with Network Information data
+	Cell   int `json:"cell"`              // responses labeled cellular
+	Cell3G int `json:"cell_3g,omitempty"` // cellular labels on a 3G radio
+	Cell4G int `json:"cell_4g,omitempty"` // cellular labels on a 4G radio
+	Cell5G int `json:"cell_5g,omitempty"` // cellular labels on a 5G radio
+}
+
+// RATKnown returns the number of cellular labels carrying a radio
+// generation; always <= Cell, and 0 on legacy data.
+func (c Counts) RATKnown() int { return c.Cell3G + c.Cell4G + c.Cell5G }
+
+// addRAT increments the counter for one radio generation.
+func (c *Counts) addRAT(r netinfo.RAT, n int) {
+	switch r {
+	case netinfo.RAT3G:
+		c.Cell3G += n
+	case netinfo.RAT4G:
+		c.Cell4G += n
+	case netinfo.RAT5G:
+		c.Cell5G += n
+	}
 }
 
 // Aggregate is the per-block BEACON rollup.
@@ -54,34 +76,63 @@ func NewAggregate() *Aggregate {
 	return &Aggregate{PerBlock: make(map[netaddr.Block]*Counts)}
 }
 
-// Add accumulates counts for a block.
-func (a *Aggregate) Add(b netaddr.Block, hits, api, cell int) {
+// counts returns the block's tally, creating it when absent.
+func (a *Aggregate) counts(b netaddr.Block) *Counts {
 	c := a.PerBlock[b]
 	if c == nil {
 		c = &Counts{}
 		a.PerBlock[b] = c
 	}
+	return c
+}
+
+// Add accumulates counts for a block.
+func (a *Aggregate) Add(b netaddr.Block, hits, api, cell int) {
+	c := a.counts(b)
 	c.Hits += hits
 	c.API += api
 	c.Cell += cell
 }
 
-// AddRecord accumulates one beacon record.
-func (a *Aggregate) AddRecord(r Record) {
-	api, cell := 0, 0
-	if r.HasAPI() {
-		api = 1
-		if r.Conn == netinfo.ConnCellular.String() {
-			cell = 1
-		}
-	}
-	a.Add(netaddr.BlockFromAddr(r.IP), 1, api, cell)
+// AddCounts accumulates a full tally — including the per-RAT split — for a
+// block; checkpoint restore paths use it so RAT counters survive restarts.
+func (a *Aggregate) AddCounts(b netaddr.Block, n Counts) {
+	c := a.counts(b)
+	c.Hits += n.Hits
+	c.API += n.API
+	c.Cell += n.Cell
+	c.Cell3G += n.Cell3G
+	c.Cell4G += n.Cell4G
+	c.Cell5G += n.Cell5G
 }
 
-// Merge folds another aggregate into a.
+// AddRecord accumulates one beacon record.
+func (a *Aggregate) AddRecord(r Record) {
+	c := a.counts(netaddr.BlockFromAddr(r.IP))
+	c.Hits++
+	if !r.HasAPI() {
+		return
+	}
+	c.API++
+	if r.Conn != netinfo.ConnCellular.String() {
+		return
+	}
+	c.Cell++
+	if rat, err := netinfo.ParseRAT(r.RAT); err == nil {
+		c.addRAT(rat, 1)
+	}
+}
+
+// Merge folds another aggregate into a, per-RAT columns included.
 func (a *Aggregate) Merge(other *Aggregate) {
-	for b, c := range other.PerBlock {
-		a.Add(b, c.Hits, c.API, c.Cell)
+	for b, oc := range other.PerBlock {
+		c := a.counts(b)
+		c.Hits += oc.Hits
+		c.API += oc.API
+		c.Cell += oc.Cell
+		c.Cell3G += oc.Cell3G
+		c.Cell4G += oc.Cell4G
+		c.Cell5G += oc.Cell5G
 	}
 }
 
@@ -132,6 +183,9 @@ func (a *Aggregate) Totals() Counts {
 		t.Hits += c.Hits
 		t.API += c.API
 		t.Cell += c.Cell
+		t.Cell3G += c.Cell3G
+		t.Cell4G += c.Cell4G
+		t.Cell5G += c.Cell5G
 	}
 	return t
 }
@@ -238,6 +292,31 @@ func plan(w *world.World, cfg GenConfig) []blockPlan {
 // s draws from PCG(cfg.Seed, aggStream^s).
 const aggStream = 0xbeac0_0001
 
+// ratStream seeds the per-block radio-generation split. RAT draws come
+// from their own PCG keyed on the block, NOT from the shard stream: the
+// pre-RAT hit/api/cell draw sequences stay bit-identical, and the split is
+// a function of (seed, block) alone — trivially parallelism-independent.
+const ratStream = 0xbeac0_0003
+
+// ratStreamFor mixes a block identity into the RAT stream constant.
+func ratStreamFor(b netaddr.Block) uint64 {
+	return ratStream ^ (b.Key*0x9e3779b97f4a7c15 + uint64(b.Fam))
+}
+
+// splitRAT partitions cell cellular labels across radio generations by a
+// conditional-binomial walk over the mix.
+func splitRAT(rng *rand.Rand, cell int, mix netinfo.RATMix) (c3, c4, c5 int) {
+	c3 = traffic.Binomial(rng, cell, mix[netinfo.RAT3G])
+	rest := cell - c3
+	p45 := mix[netinfo.RAT4G] + mix[netinfo.RAT5G]
+	if p45 <= 0 {
+		c4 = rest
+		return c3, c4, 0
+	}
+	c4 = traffic.Binomial(rng, rest, mix[netinfo.RAT4G]/p45)
+	return c3, c4, rest - c4
+}
+
 // genShardSize is the number of block plans per sampling shard. Shard
 // boundaries depend only on the plan list, never on the worker count, so
 // hit tallies are identical at every parallelism level.
@@ -247,6 +326,7 @@ const genShardSize = 2048
 type tally struct {
 	block           netaddr.Block
 	hits, api, cell int
+	c3, c4, c5      int
 }
 
 // Generate draws the per-block BEACON aggregate for a world: the fast path
@@ -281,14 +361,25 @@ func Generate(w *world.World, cfg GenConfig) (*Aggregate, error) {
 				api = traffic.Binomial(rng, hits, p.apiProb)
 			}
 			cell := traffic.Binomial(rng, api, p.info.CellLabelProb)
-			buf = append(buf, tally{block: p.info.Block, hits: hits, api: api, cell: cell})
+			t := tally{block: p.info.Block, hits: hits, api: api, cell: cell}
+			if cell > 0 && p.info.Cellular {
+				rrng := rand.New(rand.NewPCG(cfg.Seed, ratStreamFor(p.info.Block)))
+				t.c3, t.c4, t.c5 = splitRAT(rrng, cell, p.info.RAT.Mix(cfg.Month))
+			}
+			buf = append(buf, t)
 		}
 		outs[s] = buf
 	})
 	agg := NewAggregate()
 	for _, ts := range outs {
 		for _, t := range ts {
-			agg.Add(t.block, t.hits, t.api, t.cell)
+			c := agg.counts(t.block)
+			c.Hits += t.hits
+			c.API += t.api
+			c.Cell += t.cell
+			c.Cell3G += t.c3
+			c.Cell4G += t.c4
+			c.Cell5G += t.c5
 		}
 	}
 	return agg, nil
@@ -308,6 +399,9 @@ func Stream(w *world.World, cfg GenConfig) (iter.Seq[Record], error) {
 
 	return func(yield func(Record) bool) {
 		rng := rand.New(rand.NewPCG(cfg.Seed, 0xbeac0_0002))
+		// RAT draws come from their own stream so the pre-RAT record
+		// sequence (timestamps, IPs, browsers, labels) is unchanged.
+		ratRng := rand.New(rand.NewPCG(cfg.Seed, 0xbeac0_0004))
 		for _, p := range plans {
 			hits := traffic.PoissonSmall(rng, p.meanHits)
 			forcedAPI := p.info.HitsOverride
@@ -326,7 +420,11 @@ func Stream(w *world.World, cfg GenConfig) (iter.Seq[Record], error) {
 					hasAPI = rng.Float64() < p.apiProb
 				}
 				if hasAPI {
-					rec.Conn = sampleConn(rng, p.info).String()
+					conn := sampleConn(rng, p.info)
+					rec.Conn = conn.String()
+					if conn == netinfo.ConnCellular && p.info.Cellular {
+						rec.RAT = sampleRAT(ratRng, p.info.RAT.Mix(cfg.Month)).String()
+					}
 				}
 				if !yield(rec) {
 					return
@@ -334,6 +432,19 @@ func Stream(w *world.World, cfg GenConfig) (iter.Seq[Record], error) {
 			}
 		}
 	}, nil
+}
+
+// sampleRAT draws a radio generation from a mix.
+func sampleRAT(rng *rand.Rand, mix netinfo.RATMix) netinfo.RAT {
+	u := rng.Float64()
+	cum := 0.0
+	for r := netinfo.RAT(0); r < netinfo.NumRATs; r++ {
+		cum += mix[r]
+		if u < cum {
+			return r
+		}
+	}
+	return netinfo.RAT4G
 }
 
 // sampleConn draws the reported ConnectionType for an API-enabled hit.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -52,7 +53,7 @@ func TestBatchLookup(t *testing.T) {
 		if code := getJSON(t, srv.URL+"/v1/lookup?ip="+r.Addr, &single); code != http.StatusOK {
 			t.Fatalf("single lookup %s: status %d", r.Addr, code)
 		}
-		if single != r {
+		if !reflect.DeepEqual(single, r) {
 			t.Errorf("batch and single answers differ for %s: %+v vs %+v", r.Addr, r, single)
 		}
 	}

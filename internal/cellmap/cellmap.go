@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"cellspot/internal/beacon"
+	"cellspot/internal/classify"
 	"cellspot/internal/demand"
 	"cellspot/internal/logio"
 	"cellspot/internal/lpm"
@@ -32,6 +33,12 @@ type Entry struct {
 	// prefix covers; DU their combined demand units.
 	Ratio float64 `json:"ratio"`
 	DU    float64 `json:"du"`
+	// RAT, when present, is the prefix's radio-generation traffic split
+	// [3G, 4G, 5G] as shares of RAT-labeled cellular hits (indexed by
+	// netinfo.RAT). Nil on maps built from logs predating the RAT column;
+	// readers treat an absent column as a legacy map, so old and new
+	// generations serve side by side from one history index.
+	RAT []float64 `json:"rat,omitempty"`
 }
 
 // Map is a complete cellular-space dataset.
@@ -101,6 +108,9 @@ func Build(threshold float64, period string, in Inputs) (*Map, error) {
 			if hits > 0 {
 				e.Ratio = float64(cells) / float64(hits)
 			}
+			if shares, ok := classify.RATShares(in.Beacon, blocks); ok {
+				e.RAT = shares[:]
+			}
 			m.entries = append(m.entries, e)
 		}
 	}
@@ -151,6 +161,19 @@ func (m *Map) Len() int { return len(m.entries) }
 // not mutate the slice.
 func (m *Map) Entries() []Entry { return m.entries }
 
+// HasRAT reports whether any entry carries the per-RAT traffic split —
+// i.e. the map was built from logs with the RAT column. Publishers record
+// it in generation metadata so the history index can tell RAT-aware and
+// legacy generations apart without loading them.
+func (m *Map) HasRAT() bool {
+	for _, e := range m.entries {
+		if e.RAT != nil {
+			return true
+		}
+	}
+	return false
+}
+
 // TotalDU returns the demand the map covers.
 func (m *Map) TotalDU() float64 {
 	s := 0.0
@@ -195,6 +218,35 @@ func (m *Map) Write(w io.Writer) error {
 	return lw.Flush()
 }
 
+// Stats summarizes a serialized map from its header line alone.
+type Stats struct {
+	Period    string
+	Threshold float64
+	Entries   int
+}
+
+// ReadStats decodes just the header of a serialized map without loading
+// entries — the cheap metadata path the history index takes for legacy
+// generations that predate the meta sidecar.
+func ReadStats(r io.Reader) (Stats, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return Stats{}, fmt.Errorf("cellmap: read header: %w", err)
+		}
+		return Stats{}, fmt.Errorf("cellmap: empty input")
+	}
+	var hdr header
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return Stats{}, fmt.Errorf("cellmap: parse header: %w", err)
+	}
+	if hdr.Format != formatName {
+		return Stats{}, fmt.Errorf("cellmap: unknown format %q", hdr.Format)
+	}
+	return Stats{Period: hdr.Period, Threshold: hdr.Threshold, Entries: hdr.Entries}, nil
+}
+
 // Read deserializes a map written by WriteTo and rebuilds the lookup index.
 func Read(r io.Reader) (*Map, error) {
 	sc := bufio.NewScanner(r)
@@ -231,6 +283,18 @@ func Read(r io.Reader) (*Map, error) {
 		// with its masked twin in the index while comparing unequal here.
 		if e.Prefix != e.Prefix.Masked() {
 			return nil, fmt.Errorf("cellmap: line %d: prefix %s has host bits set", line, e.Prefix)
+		}
+		// The RAT column is optional (legacy maps omit it) but when
+		// present it must be a complete, sane share vector.
+		if e.RAT != nil {
+			if len(e.RAT) != 3 {
+				return nil, fmt.Errorf("cellmap: line %d: RAT column has %d shares, want 3", line, len(e.RAT))
+			}
+			for _, s := range e.RAT {
+				if s < 0 || s > 1 {
+					return nil, fmt.Errorf("cellmap: line %d: RAT share %v out of [0,1]", line, s)
+				}
+			}
 		}
 		m.entries = append(m.entries, e)
 	}

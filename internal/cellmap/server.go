@@ -17,6 +17,9 @@ type LookupResponse struct {
 	Country  string  `json:"country,omitempty"`
 	Ratio    float64 `json:"ratio,omitempty"`
 	DU       float64 `json:"du,omitempty"`
+	// RAT is the prefix's [3G, 4G, 5G] traffic split; absent on legacy
+	// maps without the RAT column and on non-cellular answers.
+	RAT []float64 `json:"rat,omitempty"`
 	// Generation is the map generation the answer was resolved against;
 	// 0 for a statically loaded map. In a sharded cluster it lets clients
 	// (and the gateway's consistency guard) see which snapshot answered.
@@ -87,7 +90,7 @@ func MountRoutes(r Router, m *Map) {
 // for any number of concurrent requests.
 func MountSource(r Router, src Source) {
 	r.HandleFunc("GET /v1/lookup", func(w http.ResponseWriter, r *http.Request) {
-		addr, name, ok := parseLookupAddr(w, r)
+		addr, name, ok := ParseLookupAddr(w, r)
 		if !ok {
 			return
 		}
@@ -141,15 +144,17 @@ func LookupAddr(m *Map, gen uint64, addr netip.Addr, name string) LookupResponse
 		resp.Country = e.Country
 		resp.Ratio = e.Ratio
 		resp.DU = e.DU
+		// Slice-header copy of the immutable entry's column: alloc-free.
+		resp.RAT = e.RAT
 	}
 	return resp
 }
 
-// parseLookupAddr extracts and validates the ip query parameter, answering
+// ParseLookupAddr extracts and validates the ip query parameter, answering
 // the error itself (JSON body, like every error path) when absent or bad.
 // It returns both the parsed address and the string the client sent, so
 // the answer can echo the request without re-stringifying.
-func parseLookupAddr(w http.ResponseWriter, r *http.Request) (netip.Addr, string, bool) {
+func ParseLookupAddr(w http.ResponseWriter, r *http.Request) (netip.Addr, string, bool) {
 	q := r.URL.Query().Get("ip")
 	if q == "" {
 		WriteError(w, http.StatusBadRequest, "missing ip parameter")
@@ -173,6 +178,14 @@ func parseLookupAddr(w http.ResponseWriter, r *http.Request) (netip.Addr, string
 func DecodeBatch(w http.ResponseWriter, r *http.Request, limit int) ([]netip.Addr, []string, bool) {
 	if limit <= 0 {
 		limit = DefaultBatchLimit
+	}
+	// The batch path serves only the current generation; silently ignoring
+	// a gen parameter would answer a history query with current data.
+	// Reject it outright until batch history serving exists.
+	if r.URL.Query().Has("gen") {
+		WriteError(w, http.StatusBadRequest,
+			"gen parameter is not supported on batch lookups; use GET /v1/lookup?ip=X&gen=N per address")
+		return nil, nil, false
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
 	var req BatchRequest

@@ -7,6 +7,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/netip"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -158,7 +159,7 @@ func TestGatewayCacheServing(t *testing.T) {
 		t.Fatalf("cached batch shape differs: %+v vs %+v", br2, br1)
 	}
 	for i := range br2.Results {
-		if br2.Results[i] != br1.Results[i] {
+		if !reflect.DeepEqual(br2.Results[i], br1.Results[i]) {
 			t.Fatalf("cached batch result %d differs: %+v vs %+v", i, br2.Results[i], br1.Results[i])
 		}
 	}
@@ -184,7 +185,7 @@ func TestGatewayCacheServing(t *testing.T) {
 		t.Fatalf("post-swap lookup: status %d gen %d body %s", st3, lr.Generation, body3)
 	}
 	want := cellmap.LookupAddr(m2, 2, addr, addr.String())
-	if lr != want {
+	if !reflect.DeepEqual(lr, want) {
 		t.Fatalf("post-swap answer %+v, want %+v", lr, want)
 	}
 
@@ -311,7 +312,7 @@ func TestGatewayCacheSwapHammer(t *testing.T) {
 						t.Errorf("unparseable addr %q in result", r.Addr)
 						return
 					}
-					if want := exp[a]; r != want {
+					if want := exp[a]; !reflect.DeepEqual(r, want) {
 						t.Errorf("WRONG ANSWER for %s at generation %d: got %+v, want %+v",
 							a, br.Generation, r, want)
 						return
@@ -394,7 +395,7 @@ func TestGatewayCacheRefetchOnMidBatchSwap(t *testing.T) {
 			t.Fatalf("result %d at generation %d inside a generation-2 batch", i, r.Generation)
 		}
 		want := cellmap.LookupAddr(m2, 2, addrs[i], addrs[i].String())
-		if r != want {
+		if !reflect.DeepEqual(r, want) {
 			t.Fatalf("result %d = %+v, want %+v", i, r, want)
 		}
 	}

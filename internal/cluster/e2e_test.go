@@ -8,6 +8,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/netip"
+	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -83,7 +84,7 @@ func TestClusterE2E(t *testing.T) {
 			t.Errorf("%s: answer claims unknown generation %d", kind, gen)
 			return
 		}
-		if r != want {
+		if !reflect.DeepEqual(r, want) {
 			t.Errorf("%s: WRONG ANSWER for %s at generation %d: got %+v, want %+v",
 				kind, a, gen, r, want)
 		}

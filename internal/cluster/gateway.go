@@ -360,6 +360,37 @@ func (g *Gateway) Lookup(ctx context.Context, addr netip.Addr) (int, []byte, err
 	return res.status, res.body, nil
 }
 
+// LookupGen routes a generation-addressed lookup to the owning shard. It
+// bypasses the response cache in both directions: the cache holds only
+// newest-generation answers, so a pinned-generation request must never be
+// served from it, and a pinned-generation answer must never be stored in
+// it — either would hand a history client current data (or vice versa).
+func (g *Gateway) LookupGen(ctx context.Context, addr netip.Addr, gen uint64) (int, []byte, error) {
+	shard := g.ring.Owner(addr)
+	res, err := g.forward(ctx, shard, 0, func(url string) (*http.Request, error) {
+		return http.NewRequest(http.MethodGet,
+			fmt.Sprintf("%s/v1/lookup?ip=%s&gen=%d", url, addr, gen), nil)
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.status, res.body, nil
+}
+
+// History forwards a timeline walk to the shard owning the address,
+// uncached: the walk's answer changes with every publish and prune, and
+// only the owning shard's history index has the retained generations.
+func (g *Gateway) History(ctx context.Context, addr netip.Addr) (int, []byte, error) {
+	shard := g.ring.Owner(addr)
+	res, err := g.forward(ctx, shard, 0, func(url string) (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, url+"/v1/history?ip="+addr.String(), nil)
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.status, res.body, nil
+}
+
 // shardFetch posts one sub-batch to a shard and decodes the answer.
 func (g *Gateway) shardFetch(ctx context.Context, shard int, minGen uint64, addrs []netip.Addr) (cellmap.BatchResponse, error) {
 	ips := make([]string, len(addrs))
@@ -593,7 +624,8 @@ var ErrGenerationSplit = fmt.Errorf("cluster: shards split across generations, r
 //	GET  /v1/cluster/health  — the gateway's fleet view
 func (g *Gateway) Mount(r cellmap.Router) {
 	r.HandleFunc("GET /v1/lookup", func(w http.ResponseWriter, req *http.Request) {
-		q := req.URL.Query().Get("ip")
+		query := req.URL.Query()
+		q := query.Get("ip")
 		if q == "" {
 			cellmap.WriteError(w, http.StatusBadRequest, "missing ip parameter")
 			return
@@ -603,7 +635,33 @@ func (g *Gateway) Mount(r cellmap.Router) {
 			cellmap.WriteError(w, http.StatusBadRequest, "bad ip: "+err.Error())
 			return
 		}
-		status, body, err := g.Lookup(req.Context(), addr)
+		var status int
+		var body []byte
+		if query.Has("gen") {
+			// Generation-addressed: route around the cache entirely.
+			seq, perr := strconv.ParseUint(query.Get("gen"), 10, 64)
+			if perr != nil || seq == 0 {
+				cellmap.WriteError(w, http.StatusBadRequest, "bad gen: want a positive generation number")
+				return
+			}
+			status, body, err = g.LookupGen(req.Context(), addr, seq)
+		} else {
+			status, body, err = g.Lookup(req.Context(), addr)
+		}
+		if err != nil {
+			cellmap.WriteError(w, http.StatusBadGateway, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		w.Write(body)
+	})
+	r.HandleFunc("GET /v1/history", func(w http.ResponseWriter, req *http.Request) {
+		addr, _, ok := cellmap.ParseLookupAddr(w, req)
+		if !ok {
+			return
+		}
+		status, body, err := g.History(req.Context(), addr)
 		if err != nil {
 			cellmap.WriteError(w, http.StatusBadGateway, err.Error())
 			return

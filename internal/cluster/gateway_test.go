@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -32,7 +33,7 @@ func TestGatewayRoutesSingleLookups(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("%s: status %d", a, resp.StatusCode)
 		}
-		if want := cellmap.LookupAddr(m, 1, a, a.String()); lr != want {
+		if want := cellmap.LookupAddr(m, 1, a, a.String()); !reflect.DeepEqual(lr, want) {
 			t.Errorf("%s: got %+v, want %+v", a, lr, want)
 		}
 	}
@@ -77,7 +78,7 @@ func TestGatewaySurvivesReplicaDeath(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("%s: status %d after replica death", a, resp.StatusCode)
 		}
-		if want := cellmap.LookupAddr(m, 1, a, a.String()); lr != want {
+		if want := cellmap.LookupAddr(m, 1, a, a.String()); !reflect.DeepEqual(lr, want) {
 			t.Errorf("%s: got %+v, want %+v", a, lr, want)
 		}
 	}
@@ -155,7 +156,7 @@ func TestGatewayHedging(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("request %d: status %d", i, resp.StatusCode)
 		}
-		if want := cellmap.LookupAddr(m, 1, addr, addr.String()); lr != want {
+		if want := cellmap.LookupAddr(m, 1, addr, addr.String()); !reflect.DeepEqual(lr, want) {
 			t.Errorf("request %d: got %+v, want %+v", i, lr, want)
 		}
 		if d := time.Since(start); d > time.Second {
@@ -205,7 +206,7 @@ func TestGatewayBatchMergesInRequestOrder(t *testing.T) {
 		t.Fatalf("batch = gen %d, %d results", br.Generation, len(br.Results))
 	}
 	for i, a := range addrs {
-		if want := cellmap.LookupAddr(m, 1, a, a.String()); br.Results[i] != want {
+		if want := cellmap.LookupAddr(m, 1, a, a.String()); !reflect.DeepEqual(br.Results[i], want) {
 			t.Errorf("result %d (%s): got %+v, want %+v", i, a, br.Results[i], want)
 		}
 	}
@@ -260,7 +261,7 @@ func TestGatewayBatchGenerationReconciliation(t *testing.T) {
 			t.Fatalf("batch %d: generation %d, want 2", i, br.Generation)
 		}
 		for j, a := range addrs {
-			if want := cellmap.LookupAddr(m2, 2, a, a.String()); br.Results[j] != want {
+			if want := cellmap.LookupAddr(m2, 2, a, a.String()); !reflect.DeepEqual(br.Results[j], want) {
 				t.Fatalf("batch %d result %d (%s): got %+v, want %+v", i, j, a, br.Results[j], want)
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -43,7 +44,7 @@ func TestShardViewFiltering(t *testing.T) {
 	if lr.Generation != 7 {
 		t.Errorf("owned lookup generation = %d, want 7", lr.Generation)
 	}
-	if want := cellmap.LookupAddr(m, 7, owned, owned.String()); lr != want {
+	if want := cellmap.LookupAddr(m, 7, owned, owned.String()); !reflect.DeepEqual(lr, want) {
 		t.Errorf("owned lookup = %+v, want %+v", lr, want)
 	}
 

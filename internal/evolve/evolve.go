@@ -166,36 +166,42 @@ func Run(w *world.World, cfg Config) (*Timeline, error) {
 			return nil, fmt.Errorf("evolve: month %s: %w", month, err)
 		}
 		detected := cls.Classify(agg)
-		snap := Snapshot{Month: month, Detected: detected}
-		type bd struct {
-			b  netaddr.Block
-			du float64
-		}
-		var tops []bd
-		for b := range detected {
-			tops = append(tops, bd{b, ds.DU(b)})
-		}
-		sort.Slice(tops, func(i, j int) bool {
-			if tops[i].du != tops[j].du {
-				return tops[i].du > tops[j].du
-			}
-			if tops[i].b.Fam != tops[j].b.Fam {
-				return tops[i].b.Fam < tops[j].b.Fam
-			}
-			return tops[i].b.Key < tops[j].b.Key
-		})
-		// Sum in sorted order: float accumulation over map order would
-		// differ between identical runs.
-		for _, tb := range tops {
-			snap.CellDU += tb.du
-		}
-		for i := 0; i < 100 && i < len(tops); i++ {
-			snap.TopBlocks = append(snap.TopBlocks, tops[i].b)
-		}
-		tl.Snapshots = append(tl.Snapshots, snap)
+		tl.Snapshots = append(tl.Snapshots, monthSnapshot(month, detected, ds))
 		month = month.Next()
 	}
 	return tl, nil
+}
+
+// monthSnapshot assembles one month's Snapshot from its classification and
+// demand, ranking detected blocks by demand to find the heavy hitters.
+func monthSnapshot(month netinfo.Month, detected netaddr.Set, ds *demand.Dataset) Snapshot {
+	snap := Snapshot{Month: month, Detected: detected}
+	type bd struct {
+		b  netaddr.Block
+		du float64
+	}
+	var tops []bd
+	for b := range detected {
+		tops = append(tops, bd{b, ds.DU(b)})
+	}
+	sort.Slice(tops, func(i, j int) bool {
+		if tops[i].du != tops[j].du {
+			return tops[i].du > tops[j].du
+		}
+		if tops[i].b.Fam != tops[j].b.Fam {
+			return tops[i].b.Fam < tops[j].b.Fam
+		}
+		return tops[i].b.Key < tops[j].b.Key
+	})
+	// Sum in sorted order: float accumulation over map order would
+	// differ between identical runs.
+	for _, tb := range tops {
+		snap.CellDU += tb.du
+	}
+	for i := 0; i < 100 && i < len(tops); i++ {
+		snap.TopBlocks = append(snap.TopBlocks, tops[i].b)
+	}
+	return snap
 }
 
 // cloneWorld shallow-copies a world with fresh BlockInfo values so monthly
@@ -217,15 +223,7 @@ func cloneWorld(w *world.World) *world.World {
 // block, and a ChurnRate fraction of active cellular blocks hand their role
 // to freshly allocated addresses in the same AS.
 func mutate(w *world.World, rng *rand.Rand, cfg Config) {
-	// Fresh block keys continue above the current maximum to avoid
-	// collisions with existing allocations.
-	var max24 uint64
-	for _, b := range w.Blocks {
-		if !b.Block.IsV6() && b.Block.Key > max24 {
-			max24 = b.Block.Key
-		}
-	}
-	next := max24 + 1
+	next := nextV4Key(w)
 	var added []*world.BlockInfo
 	for _, b := range w.Blocks {
 		if b.Demand > 0 && cfg.DemandDrift > 0 {
@@ -251,4 +249,16 @@ func mutate(w *world.World, rng *rand.Rand, cfg Config) {
 		w.Blocks = append(w.Blocks, nb)
 		w.BlockIndex[nb.Block] = nb
 	}
+}
+
+// nextV4Key returns the first /24 key above every existing allocation, so
+// freshly allocated blocks never collide with live ones.
+func nextV4Key(w *world.World) uint64 {
+	var max24 uint64
+	for _, b := range w.Blocks {
+		if !b.Block.IsV6() && b.Block.Key > max24 {
+			max24 = b.Block.Key
+		}
+	}
+	return max24 + 1
 }

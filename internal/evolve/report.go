@@ -1,0 +1,111 @@
+package evolve
+
+import (
+	"net/netip"
+
+	"cellspot/internal/cellmap"
+	"cellspot/internal/history"
+	"cellspot/internal/netinfo"
+)
+
+// ChangePoints replays an address against an ordered run of maps and
+// returns its label change-points — the offline equivalent of what
+// /v1/history answers once the same maps are published as generations
+// seqs[0..n). It is an independent implementation of the timeline walk
+// (no store, no index, no LRU) kept to history.Timeline's contract: the
+// first map always emits; a new point opens when the cellular bit,
+// covering prefix, or owning ASN changes; ratio and RAT drift attach to
+// emitted points without opening one.
+func ChangePoints(maps []*cellmap.Map, seqs []uint64, addr netip.Addr) []history.ChangePoint {
+	var out []history.ChangePoint
+	var prev history.ChangePoint
+	for i, m := range maps {
+		cur := history.ChangePoint{Generation: seqs[i], Period: m.Period}
+		if e, ok := m.Lookup(addr); ok {
+			cur.Cellular = true
+			cur.Prefix = e.Prefix.String()
+			cur.ASN = e.ASN
+			cur.Ratio = e.Ratio
+			cur.RAT = e.RAT
+		}
+		if i == 0 || cur.Cellular != prev.Cellular || cur.Prefix != prev.Prefix || cur.ASN != prev.ASN {
+			out = append(out, cur)
+		}
+		prev = cur
+	}
+	return out
+}
+
+// MapChurn is prefix-level churn between two consecutive published maps:
+// the offline churn report a scenario run prints, and the ground truth a
+// /v1/history walk over the same generations must agree with.
+type MapChurn struct {
+	FromPeriod, ToPeriod string
+	// Added/Removed count prefixes entering/leaving the map; Moved counts
+	// prefixes present in both months under a different ASN (renumbering,
+	// mergers).
+	Added, Removed, Moved int
+	// From5G/To5G are the DU-weighted 5G traffic shares; -1 when the month
+	// has no RAT column (legacy map).
+	From5G, To5G float64
+}
+
+// MapChurns compares each consecutive pair of the run's maps
+// (len = Months-1).
+func (r *ScenarioRun) MapChurns() []MapChurn {
+	var out []MapChurn
+	for i := 1; i < len(r.Maps); i++ {
+		prev, cur := r.Maps[i-1], r.Maps[i]
+		prevASN := make(map[string]uint32, prev.Len())
+		for _, e := range prev.Entries() {
+			prevASN[e.Prefix.String()] = e.ASN
+		}
+		mc := MapChurn{FromPeriod: prev.Period, ToPeriod: cur.Period, From5G: -1, To5G: -1}
+		seen := make(map[string]bool, cur.Len())
+		for _, e := range cur.Entries() {
+			p := e.Prefix.String()
+			seen[p] = true
+			was, ok := prevASN[p]
+			switch {
+			case !ok:
+				mc.Added++
+			case was != e.ASN:
+				mc.Moved++
+			}
+		}
+		for p := range prevASN {
+			if !seen[p] {
+				mc.Removed++
+			}
+		}
+		if s, ok := FiveGShare(prev); ok {
+			mc.From5G = s
+		}
+		if s, ok := FiveGShare(cur); ok {
+			mc.To5G = s
+		}
+		out = append(out, mc)
+	}
+	return out
+}
+
+// FiveGShare is a map's demand-weighted 5G traffic share over entries
+// carrying the RAT column; ok is false on legacy maps without one.
+func FiveGShare(m *cellmap.Map) (float64, bool) {
+	var du, fiveG float64
+	for _, e := range m.Entries() {
+		if len(e.RAT) != int(netinfo.NumRATs) {
+			continue
+		}
+		w := e.DU
+		if w <= 0 {
+			continue
+		}
+		du += w
+		fiveG += w * e.RAT[netinfo.RAT5G]
+	}
+	if du <= 0 {
+		return 0, false
+	}
+	return fiveG / du, true
+}

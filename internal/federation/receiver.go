@@ -16,6 +16,7 @@ import (
 
 	"cellspot/internal/beacon"
 	"cellspot/internal/classify"
+	"cellspot/internal/history"
 	"cellspot/internal/live"
 	"cellspot/internal/logio"
 	"cellspot/internal/obs"
@@ -487,7 +488,16 @@ func (r *Receiver) publish(agg *beacon.Aggregate, period string, ck federationCh
 		if err := f.Close(); err != nil {
 			return err
 		}
-		return os.WriteFile(filepath.Join(dir, CheckpointFile), append(raw, '\n'), 0o644)
+		if err := os.WriteFile(filepath.Join(dir, CheckpointFile), append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		return history.WriteMeta(dir, history.GenMeta{
+			BuiltUnix: time.Now().Unix(),
+			Entries:   m.Len(),
+			Period:    m.Period,
+			Threshold: r.cfg.Threshold,
+			RAT:       m.HasRAT(),
+		})
 	})
 	if err != nil {
 		return snapshot.Generation{}, 0, err

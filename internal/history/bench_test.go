@@ -1,0 +1,73 @@
+package history
+
+import (
+	"fmt"
+	"testing"
+
+	"cellspot/internal/snapshot"
+)
+
+// BenchmarkHistoryLookup measures a generation-addressed lookup through
+// the index. "resident" is the steady state (the generation is in the
+// LRU); "reload" forces a disk load + index rebuild on every iteration by
+// keeping the working set one generation wider than the residency bound —
+// the cost a client pays the first time it pins a cold generation.
+func BenchmarkHistoryLookup(b *testing.B) {
+	const gens = 4
+	store, err := snapshot.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var entries []hEntry
+	for i := 0; i < 256; i++ {
+		entries = append(entries, hEntry{
+			prefix: fmt.Sprintf("10.%d.%d.0/24", i/256, i%256), asn: uint32(100 + i),
+			ratio: 0.5, du: 1, country: "DE", rat: []float64{0.2, 0.7, 0.1},
+		})
+	}
+	for g := 0; g < gens; g++ {
+		publishGen(b, store, fmt.Sprintf("2016-%02d", g+1), entries, false)
+	}
+	addr := mustAddr(b, "10.0.17.9")
+
+	b.Run("resident", func(b *testing.B) {
+		ix, err := New(Config{Store: store, MaxResident: gens})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ix.At(2); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, err := ix.At(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := m.Lookup(addr); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+
+	b.Run("reload", func(b *testing.B) {
+		ix, err := New(Config{Store: store, MaxResident: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Alternate between two generations with a one-slot LRU:
+			// every At is a cold load.
+			m, err := ix.At(uint64(i%2) + 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := m.Lookup(addr); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+}

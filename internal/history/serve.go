@@ -1,0 +1,105 @@
+package history
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"cellspot/internal/cellmap"
+)
+
+// NotRetainedError is the JSON body of a 404 for a generation-addressed
+// request whose seq the store no longer retains. OldestGeneration lets the
+// client re-anchor: it names the earliest seq still answerable (absent
+// when the store retains nothing at all).
+type NotRetainedError struct {
+	Error            string `json:"error"`
+	OldestGeneration uint64 `json:"oldest_generation,omitempty"`
+}
+
+// Mount registers the history-aware lookup service: the full MountSource
+// surface plus time travel.
+//
+//	GET  /v1/lookup?ip=ADDR        — current map, identical to MountSource
+//	GET  /v1/lookup?ip=ADDR&gen=N  — pinned past generation, 404 if pruned
+//	POST /v1/lookup/batch          — current generation only (gen → 400)
+//	GET  /v1/history?ip=ADDR       — label change-points across retention
+//	GET  /v1/generations           — retained generations with metadata
+//	GET  /v1/info                  — current dataset metadata
+//
+// A gen=N answer goes through the same LookupAddr/WriteJSON path as a
+// current answer, so serving generation N from history is byte-identical
+// to serving it as current.
+func Mount(r cellmap.Router, src cellmap.Source, ix *Index) {
+	r.HandleFunc("GET /v1/lookup", func(w http.ResponseWriter, req *http.Request) {
+		addr, name, ok := cellmap.ParseLookupAddr(w, req)
+		if !ok {
+			return
+		}
+		q := req.URL.Query()
+		if !q.Has("gen") {
+			m, gen := src.Current()
+			cellmap.WriteJSON(w, cellmap.LookupAddr(m, gen, addr, name))
+			return
+		}
+		seq, err := strconv.ParseUint(q.Get("gen"), 10, 64)
+		if err != nil || seq == 0 {
+			cellmap.WriteError(w, http.StatusBadRequest, "bad gen: want a positive generation number")
+			return
+		}
+		m, err := ix.At(seq)
+		if err != nil {
+			WriteAtError(w, err)
+			return
+		}
+		cellmap.WriteJSON(w, cellmap.LookupAddr(m, seq, addr, name))
+	})
+	r.HandleFunc("POST /v1/lookup/batch", func(w http.ResponseWriter, req *http.Request) {
+		// DecodeBatch rejects a gen parameter itself: the batch path
+		// serves only the current generation.
+		addrs, names, ok := cellmap.DecodeBatch(w, req, cellmap.DefaultBatchLimit)
+		if !ok {
+			return
+		}
+		m, gen := src.Current()
+		resp := cellmap.BatchResponse{Generation: gen, Results: make([]cellmap.LookupResponse, 0, len(addrs))}
+		for i, a := range addrs {
+			resp.Results = append(resp.Results, cellmap.LookupAddr(m, gen, a, names[i]))
+		}
+		cellmap.WriteJSON(w, resp)
+	})
+	r.HandleFunc("GET /v1/history", func(w http.ResponseWriter, req *http.Request) {
+		addr, name, ok := cellmap.ParseLookupAddr(w, req)
+		if !ok {
+			return
+		}
+		resp, err := ix.Timeline(addr, name)
+		if err != nil {
+			cellmap.WriteError(w, http.StatusInternalServerError, "history walk: "+err.Error())
+			return
+		}
+		cellmap.WriteJSON(w, resp)
+	})
+	r.HandleFunc("GET /v1/generations", func(w http.ResponseWriter, _ *http.Request) {
+		gens := ix.Generations()
+		cellmap.WriteJSON(w, struct {
+			Generations []GenInfo `json:"generations"`
+		}{Generations: gens})
+	})
+	cellmap.MountInfo(r, src)
+}
+
+// WriteAtError maps an Index.At failure onto the wire: a pruned seq is the
+// client's 404 (with the oldest retained seq to re-anchor on); anything
+// else is a server-side 500.
+func WriteAtError(w http.ResponseWriter, err error) {
+	var perr *PrunedError
+	if errors.As(err, &perr) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(NotRetainedError{Error: perr.Error(), OldestGeneration: perr.Oldest})
+		return
+	}
+	cellmap.WriteError(w, http.StatusInternalServerError, "loading generation: "+err.Error())
+}

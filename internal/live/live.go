@@ -24,12 +24,11 @@ import (
 	"path/filepath"
 	"time"
 
-	"cellspot/internal/aschar"
 	"cellspot/internal/beacon"
 	"cellspot/internal/cellmap"
 	"cellspot/internal/classify"
-	"cellspot/internal/demand"
-	"cellspot/internal/netaddr"
+	"cellspot/internal/history"
+	"cellspot/internal/mapbuild"
 	"cellspot/internal/obs"
 	"cellspot/internal/snapshot"
 )
@@ -51,20 +50,10 @@ const (
 )
 
 // MapInputs bundles the side data the map-build chain needs beyond the
-// beacon aggregate itself.
-type MapInputs struct {
-	// Demand weights AS-filter rule 1 and the published DU annotations;
-	// nil skips both (rule 1 then passes every AS).
-	Demand *demand.Dataset
-	// Rules is the paper's AS filter (Table 5). The zero value disables
-	// all three rules.
-	Rules aschar.Rules
-	// ASOf maps a block to its originating AS, as a BGP table would.
-	// Required: unmappable blocks cannot be published.
-	ASOf func(netaddr.Block) (uint32, bool)
-	// CountryOf annotates entries with a country; optional.
-	CountryOf func(uint32) (string, bool)
-}
+// beacon aggregate itself. It aliases mapbuild.Inputs — the chain lives in
+// internal/mapbuild so offline scenario builds share it without importing
+// the live machinery.
+type MapInputs = mapbuild.Inputs
 
 // BuildMap runs the classify → AS-filter → cellmap.Build chain over a
 // beacon aggregate: exactly the offline export path, factored out so the
@@ -72,38 +61,7 @@ type MapInputs struct {
 // aggregates. Detected blocks whose AS fails the filter are dropped before
 // the map is built, mirroring the paper's AS-level exclusion rules.
 func BuildMap(agg *beacon.Aggregate, threshold float64, period string, in MapInputs) (*cellmap.Map, error) {
-	if in.ASOf == nil {
-		return nil, fmt.Errorf("live: MapInputs.ASOf is required")
-	}
-	cls, err := classify.New(threshold)
-	if err != nil {
-		return nil, fmt.Errorf("live: %w", err)
-	}
-	detected := cls.Classify(agg)
-	stats := aschar.BuildStats(aschar.Inputs{
-		Detected: detected,
-		Beacon:   agg,
-		Demand:   in.Demand,
-		ASOf:     in.ASOf,
-	})
-	fr := aschar.Filter(stats, in.Rules)
-	allowed := make(map[uint32]bool, len(fr.AfterRule3))
-	for _, a := range fr.AfterRule3 {
-		allowed[a] = true
-	}
-	kept := make(netaddr.Set)
-	for b := range detected {
-		if a, ok := in.ASOf(b); ok && allowed[a] {
-			kept.Add(b)
-		}
-	}
-	return cellmap.Build(threshold, period, cellmap.Inputs{
-		Detected:  kept,
-		Beacon:    agg,
-		Demand:    in.Demand,
-		ASOf:      in.ASOf,
-		CountryOf: in.CountryOf,
-	})
+	return mapbuild.Build(agg, threshold, period, in)
 }
 
 // Config parameterizes an Updater.
@@ -317,7 +275,18 @@ func (u *Updater) tick() (Refresh, error) {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		return os.WriteFile(filepath.Join(dir, CheckpointFile), ck, 0o644)
+		if err := os.WriteFile(filepath.Join(dir, CheckpointFile), ck, 0o644); err != nil {
+			return err
+		}
+		meta := history.GenMeta{
+			BuiltUnix: time.Now().Unix(),
+			Entries:   m.Len(),
+			Period:    m.Period,
+			Threshold: u.cfg.Threshold,
+			RAT:       m.HasRAT(),
+		}
+		meta.DayFirst, meta.DayLast, _ = u.win.DayRange()
+		return history.WriteMeta(dir, meta)
 	})
 	if err != nil {
 		return Refresh{}, err

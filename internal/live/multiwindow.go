@@ -15,12 +15,17 @@ type DayState struct {
 	Blocks []BlockState `json:"blocks"`
 }
 
-// BlockState is one block's tally inside a day bucket.
+// BlockState is one block's tally inside a day bucket. The per-RAT fields
+// mirror beacon.Counts; they are zero (and omitted) for legacy data, so
+// old checkpoints decode unchanged.
 type BlockState struct {
-	Block string `json:"block"` // netaddr.FormatIndex token
-	Hits  int    `json:"hits"`
-	API   int    `json:"api"`
-	Cell  int    `json:"cell"`
+	Block  string `json:"block"` // netaddr.FormatIndex token
+	Hits   int    `json:"hits"`
+	API    int    `json:"api"`
+	Cell   int    `json:"cell"`
+	Cell3G int    `json:"cell_3g,omitempty"`
+	Cell4G int    `json:"cell_4g,omitempty"`
+	Cell5G int    `json:"cell_5g,omitempty"`
 }
 
 // encodeBuckets serializes day buckets in ascending day order with sorted
@@ -46,6 +51,7 @@ func encodeBuckets(buckets map[int64]*dayBucket) []DayState {
 			ds.Blocks = append(ds.Blocks, BlockState{
 				Block: netaddr.FormatIndex(blk),
 				Hits:  c.Hits, API: c.API, Cell: c.Cell,
+				Cell3G: c.Cell3G, Cell4G: c.Cell4G, Cell5G: c.Cell5G,
 			})
 		}
 		out = append(out, ds)
@@ -70,7 +76,10 @@ func decodeBuckets(states []DayState) (map[int64]*dayBucket, int, error) {
 			}
 			// Hits equals the bucket's record count exactly, because the
 			// live path adds one hit per record.
-			b.agg.Add(blk, bs.Hits, bs.API, bs.Cell)
+			b.agg.AddCounts(blk, beacon.Counts{
+				Hits: bs.Hits, API: bs.API, Cell: bs.Cell,
+				Cell3G: bs.Cell3G, Cell4G: bs.Cell4G, Cell5G: bs.Cell5G,
+			})
 			b.records += bs.Hits
 			records += bs.Hits
 		}

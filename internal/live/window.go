@@ -142,6 +142,20 @@ func (w *Window) Merged() *beacon.Aggregate {
 	return out
 }
 
+// DayRange returns the first and last retained day as "2006-01-02"
+// strings; ok is false on an empty window. Publishers record the span in
+// generation metadata so the history index can show each generation's day
+// window without parsing Period labels.
+func (w *Window) DayRange() (first, last string, ok bool) {
+	if !w.nonEmpty {
+		return "", "", false
+	}
+	fmtDay := func(d int64) string {
+		return time.Unix(d*secondsPerDay, 0).UTC().Format("2006-01-02")
+	}
+	return fmtDay(w.oldest()), fmtDay(w.latest), true
+}
+
 // Period labels the window for the published map, e.g.
 // "live:2016-12-25..2016-12-31" — the (at most) days-long span ending at
 // the newest day observed. An empty window is labeled "live:empty".

@@ -1,0 +1,154 @@
+package netinfo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMonthIndexEdgeCases(t *testing.T) {
+	cases := []struct {
+		m    Month
+		want int
+	}{
+		{Month{2015, 1}, 0},
+		{Month{2015, 12}, 11},
+		{Month{2016, 1}, 12},
+		{Month{2016, 12}, 23},
+		{Month{2017, 1}, 24},
+		// Pre-2015 months index negative, one step per month.
+		{Month{2014, 12}, -1},
+		{Month{2014, 1}, -12},
+		{Month{2013, 12}, -13},
+		{Month{2010, 6}, -55},
+	}
+	for _, c := range cases {
+		if got := c.m.Index(); got != c.want {
+			t.Errorf("%v.Index() = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+func TestMonthNextAcrossBoundaries(t *testing.T) {
+	cases := []struct {
+		m, want Month
+	}{
+		{Month{2016, 11}, Month{2016, 12}},
+		{Month{2016, 12}, Month{2017, 1}},
+		{Month{2014, 12}, Month{2015, 1}},
+		{Month{1999, 12}, Month{2000, 1}},
+	}
+	for _, c := range cases {
+		if got := c.m.Next(); got != c.want {
+			t.Errorf("%v.Next() = %v, want %v", c.m, got, c.want)
+		}
+	}
+	// Next always advances the index by exactly one, including across years
+	// and through the pre-2015 negative range.
+	m := Month{2013, 10}
+	for i := 0; i < 60; i++ {
+		n := m.Next()
+		if n.Index() != m.Index()+1 {
+			t.Fatalf("%v.Next() = %v: index %d -> %d, want +1", m, n, m.Index(), n.Index())
+		}
+		if n.Mon < 1 || n.Mon > 12 {
+			t.Fatalf("%v.Next() = %v: month out of range", m, n)
+		}
+		m = n
+	}
+}
+
+func TestRATTokenRoundTrip(t *testing.T) {
+	for _, r := range []RAT{RAT3G, RAT4G, RAT5G} {
+		got, err := ParseRAT(r.String())
+		if err != nil || got != r {
+			t.Errorf("ParseRAT(%q) = %v, %v", r.String(), got, err)
+		}
+	}
+	if _, err := ParseRAT("6g"); err == nil {
+		t.Error("ParseRAT accepted unknown token")
+	}
+}
+
+func checkMix(t *testing.T, label string, mix RATMix) {
+	t.Helper()
+	sum := 0.0
+	for r, v := range mix {
+		if v < 0 || v > 1 {
+			t.Fatalf("%s: share[%d] = %v out of [0,1]", label, r, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("%s: mix sums to %v, want 1", label, sum)
+	}
+}
+
+func TestBaselineRATMix(t *testing.T) {
+	// Valid at every month across and beyond the modelled window.
+	m := Month{2013, 1}
+	for i := 0; i < 160; i++ {
+		checkMix(t, m.String(), BaselineRATMix(m))
+		m = m.Next()
+	}
+	// No 5G during the paper's collection window; LTE already dominant.
+	dec16 := BaselineRATMix(December2016)
+	if dec16[RAT5G] != 0 {
+		t.Errorf("Dec 2016 5G share = %v, want 0", dec16[RAT5G])
+	}
+	if dec16[RAT4G] <= dec16[RAT3G] {
+		t.Errorf("Dec 2016 mix %v: want 4G > 3G", dec16)
+	}
+	// 5G share is monotonically nondecreasing, 3G nonincreasing.
+	prev := BaselineRATMix(Month{2015, 1})
+	m = Month{2015, 2}
+	for i := 0; i < 130; i++ {
+		cur := BaselineRATMix(m)
+		if cur[RAT5G] < prev[RAT5G]-1e-12 {
+			t.Fatalf("5G share shrank at %v: %v -> %v", m, prev[RAT5G], cur[RAT5G])
+		}
+		if cur[RAT3G] > prev[RAT3G]+1e-12 {
+			t.Fatalf("3G share grew at %v: %v -> %v", m, prev[RAT3G], cur[RAT3G])
+		}
+		prev, m = cur, m.Next()
+	}
+}
+
+func TestRATProfileMix(t *testing.T) {
+	m := Month{2022, 1}
+	base := RATProfile{FiveG: true}.Mix(m)
+	checkMix(t, "base", base)
+	if base != BaselineRATMix(m) {
+		t.Errorf("zero-lag 5G profile %v != baseline %v", base, BaselineRATMix(m))
+	}
+
+	// A laggard sits earlier on the curve: less 5G than the baseline.
+	lag := RATProfile{LagMonths: 18, FiveG: true}.Mix(m)
+	checkMix(t, "lag", lag)
+	if lag[RAT5G] >= base[RAT5G] {
+		t.Errorf("18-month laggard 5G share %v >= baseline %v", lag[RAT5G], base[RAT5G])
+	}
+	if lag != BaselineRATMix(Month{2020, 7}) {
+		t.Errorf("lagged mix %v != baseline 18 months earlier %v", lag, BaselineRATMix(Month{2020, 7}))
+	}
+
+	// A leader sits later on the curve, including lags that push Mon
+	// outside 1..12.
+	lead := RATProfile{LagMonths: -13, FiveG: true}.Mix(m)
+	checkMix(t, "lead", lead)
+	if lead != BaselineRATMix(Month{2023, 2}) {
+		t.Errorf("leading mix %v != baseline 13 months later %v", lead, BaselineRATMix(Month{2023, 2}))
+	}
+
+	// Without a 5G deployment the NR share rides on LTE instead.
+	no5g := RATProfile{}.Mix(m)
+	checkMix(t, "no5g", no5g)
+	if no5g[RAT5G] != 0 {
+		t.Errorf("no-5G profile has 5G share %v", no5g[RAT5G])
+	}
+	if math.Abs(no5g[RAT4G]-(base[RAT4G]+base[RAT5G])) > 1e-9 {
+		t.Errorf("no-5G 4G share %v, want %v", no5g[RAT4G], base[RAT4G]+base[RAT5G])
+	}
+	if no5g[RAT3G] != base[RAT3G] {
+		t.Errorf("no-5G 3G share %v changed from %v", no5g[RAT3G], base[RAT3G])
+	}
+}

@@ -77,8 +77,9 @@ func parseGenName(name string) (uint64, bool) {
 // Publish and Prune serialize against each other in-process; Current is
 // safe to call concurrently from any number of goroutines or processes.
 type Store struct {
-	dir string
-	mu  sync.Mutex
+	dir  string
+	mu   sync.Mutex
+	pins map[uint64]int // generation seq -> in-process pin count
 }
 
 // Open creates (if needed) and opens a store rooted at dir, sweeping any
@@ -98,7 +99,37 @@ func Open(dir string) (*Store, error) {
 			}
 		}
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, pins: make(map[uint64]int)}, nil
+}
+
+// Pin marks a generation as in use by an in-process reader, shielding it
+// from Prune until a matching Unpin. It returns the generation and true when
+// the directory exists on disk; a pruned or never-published seq returns
+// ok=false and takes no pin. Pins serialize against Prune on the store
+// mutex, so a successful Pin guarantees the directory outlives the reader:
+// a reader that pins, reads, and unpins never observes a half-removed
+// generation.
+func (s *Store) Pin(seq uint64) (Generation, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := filepath.Join(s.dir, genName(seq))
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return Generation{}, false
+	}
+	s.pins[seq]++
+	return Generation{Seq: seq, Dir: dir}, true
+}
+
+// Unpin releases one pin taken by Pin. Unpinning a seq with no outstanding
+// pins is a no-op.
+func (s *Store) Unpin(seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pins[seq] <= 1 {
+		delete(s.pins, seq)
+		return
+	}
+	s.pins[seq]--
 }
 
 // Dir returns the store root.
@@ -205,8 +236,10 @@ func (s *Store) setCurrent(name string) error {
 
 // Prune removes old generations, keeping the newest keep of them. The
 // generation CURRENT points at (and anything newer) is never removed, so
-// keep <= 0 still retains the serving generation. Returns the number of
-// generations removed.
+// keep <= 0 still retains the serving generation. Generations pinned by an
+// in-process reader (see Pin) are skipped, not removed — they become
+// eligible again on a later Prune after the last Unpin. Returns the number
+// of generations removed.
 func (s *Store) Prune(keep int) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -228,6 +261,9 @@ func (s *Store) Prune(keep int) (int, error) {
 		}
 		if ok && g.Seq >= cur.Seq {
 			break
+		}
+		if s.pins[g.Seq] > 0 {
+			continue
 		}
 		if err := os.RemoveAll(g.Dir); err != nil {
 			return removed, fmt.Errorf("snapshot: prune %s: %w", g.Name(), err)

@@ -323,6 +323,9 @@ func (g *generator) newAS(name, cc string, role asn.Role) *asn.AS {
 func (g *generator) addBlock(op *Operator, b BlockInfo) *BlockInfo {
 	bi := &b
 	bi.ASN = op.AS.Number
+	if bi.Cellular {
+		bi.RAT = op.RAT
+	}
 	op.Blocks = append(op.Blocks, bi)
 	g.w.Blocks = append(g.w.Blocks, bi)
 	if g.w.BlockIndex != nil {
@@ -455,6 +458,7 @@ func (g *generator) genCellOperators(c *geo.Country, cellDemand float64, budget 
 			V6:             v6Alloc[i] > 0,
 			PublicDNSShare: clamp01(c.PublicDNSShare * traffic.LogNormal(g.rng, 0, 0.2)),
 		}
+		op.RAT = ratProfileFor(op.AS.Name, op.Dedicated)
 		g.w.Operators = append(g.w.Operators, op)
 		g.w.CellOperators = append(g.w.CellOperators, op)
 		g.genCellPlan(op, cellDemand*shares[i], max(blockAlloc[i], 2), v6Alloc[i], g.plan(op.Dedicated))

@@ -16,6 +16,7 @@ import (
 	"cellspot/internal/asn"
 	"cellspot/internal/geo"
 	"cellspot/internal/netaddr"
+	"cellspot/internal/netinfo"
 )
 
 // BlockInfo is the ground truth for one /24 or /48 block.
@@ -44,6 +45,11 @@ type BlockInfo struct {
 	// fixed blocks it is the tiny interface-switch race rate; for proxy
 	// egress blocks it is high despite the block not being cellular.
 	CellLabelProb float64
+
+	// RAT is the owning operator's radio-generation adoption profile,
+	// copied onto cellular blocks; the mix of 3G/4G/5G traffic a block
+	// carries in a month is RAT.Mix(month). Meaningless for fixed blocks.
+	RAT netinfo.RATProfile
 
 	// HitsOverride, when positive, fixes the block's API-enabled beacon
 	// hit count instead of deriving it from demand. Used by noise blocks
@@ -83,6 +89,12 @@ type Operator struct {
 
 	// V6 marks operators deploying IPv6 on their cellular network.
 	V6 bool
+
+	// RAT is the operator's radio-generation adoption profile (lag behind
+	// the global 3G/4G/5G baseline, 5G deployment flag). Derived
+	// deterministically from the AS identity, not from the generation RNG
+	// streams, so adding or changing profiles never shifts other draws.
+	RAT netinfo.RATProfile
 
 	// CellDemand and FixedDemand are the operator's unnormalized demand
 	// totals by ground-truth access type.
