@@ -13,7 +13,7 @@
 // Usage:
 //
 //	beacond [-addr :8780] [-spool DIR] [-gzip] [-spool-max-records N]
-//	        [-ship-to URL -collector-id ID [-ship-interval D] [-ship-segment-bytes N]]
+//	        [-ship-to URL -collector-id ID [-ship-interval D] [-ship-segment-bytes N] [-ship-timeout D]]
 package main
 
 import (
@@ -55,6 +55,7 @@ func run() int {
 	collectorID := flag.String("collector-id", "", "this collector's identity in shipped manifests")
 	shipInterval := flag.Duration("ship-interval", federation.DefaultShipInterval, "spool shipping poll interval")
 	shipSegBytes := flag.Int("ship-segment-bytes", federation.DefaultSegmentBytes, "target shipped segment size in bytes")
+	shipTimeout := flag.Duration("ship-timeout", federation.DefaultShipTimeout, "per-request ship deadline floor; each attempt gets this plus transfer time for the segment")
 	flag.Parse()
 
 	if *spoolMax <= 0 {
@@ -89,6 +90,7 @@ func run() int {
 			Target:       *shipTo,
 			SegmentBytes: *shipSegBytes,
 			Interval:     *shipInterval,
+			ShipTimeout:  *shipTimeout,
 			Metrics:      reg,
 			Logf:         log.Printf,
 		})

@@ -88,6 +88,8 @@ func run() int {
 	shardSpec := flag.String("shard", "", "this node's shard identity as i/N (with -cluster)")
 	gatewayMode := flag.Bool("gateway", false, "serve as a cluster gateway: route lookups to shard nodes, no local map")
 	gatewayCache := flag.Int("gateway-cache", 65536, "gateway response cache capacity in addresses (0 disables); invalidated wholesale on generation change")
+	gatewayDegraded := flag.Bool("gateway-degraded", false, "serve partial batch results (marked degraded) when a minority of shards is dark, instead of failing the whole batch")
+	maxInflight := flag.Int("max-inflight", 0, "admission-control bound on concurrently served requests (0 = unbounded): shard lookups shed with 503, federation segments with 429")
 	flag.Parse()
 
 	if *gatewayMode {
@@ -102,7 +104,7 @@ func run() int {
 			log.Print("-gateway holds no map; drop -map/-snapshots/-live-spool")
 			return 2
 		}
-		return runGateway(*topoPath, *addr, *gatewayCache)
+		return runGateway(*topoPath, *addr, *gatewayCache, *gatewayDegraded)
 	}
 	if *clusterMode != (*shardSpec != "") {
 		log.Print("-cluster and -shard i/N go together")
@@ -178,6 +180,7 @@ func run() int {
 			log.Print(err)
 			return 2
 		}
+		view.SetMaxInflight(*maxInflight)
 		view.EnableMetrics(reg)
 		if d.hist != nil {
 			cluster.MountShardHistory(mux, view, d.hist)
@@ -252,14 +255,15 @@ func run() int {
 			return 2
 		}
 		recv, err := federation.NewReceiver(federation.ReceiverConfig{
-			WindowDays: *windowDays,
-			Threshold:  *threshold,
-			Inputs:     inputs,
-			Store:      store,
-			Keep:       *keep,
-			Interval:   *refresh,
-			Metrics:    reg,
-			Logf:       log.Printf,
+			WindowDays:  *windowDays,
+			Threshold:   *threshold,
+			Inputs:      inputs,
+			Store:       store,
+			Keep:        *keep,
+			MaxInflight: *maxInflight,
+			Interval:    *refresh,
+			Metrics:     reg,
+			Logf:        log.Printf,
 		})
 		if err != nil {
 			log.Print(err)
@@ -308,7 +312,7 @@ func run() int {
 // runGateway is the -gateway lifecycle: no map, no store — just the
 // router, its generation-keyed response cache, its health loop, and
 // metrics.
-func runGateway(topoPath, addr string, cacheSize int) int {
+func runGateway(topoPath, addr string, cacheSize int, degraded bool) int {
 	topo, err := cluster.LoadTopology(topoPath)
 	if err != nil {
 		log.Print(err)
@@ -316,10 +320,11 @@ func runGateway(topoPath, addr string, cacheSize int) int {
 	}
 	reg := obs.NewRegistry()
 	g, err := cluster.NewGateway(cluster.GatewayConfig{
-		Topology:  topo,
-		Registry:  reg,
-		CacheSize: cacheSize,
-		Logf:      log.Printf,
+		Topology:      topo,
+		Registry:      reg,
+		CacheSize:     cacheSize,
+		AllowDegraded: degraded,
+		Logf:          log.Printf,
 	})
 	if err != nil {
 		log.Print(err)

@@ -24,6 +24,10 @@ type LookupResponse struct {
 	// 0 for a statically loaded map. In a sharded cluster it lets clients
 	// (and the gateway's consistency guard) see which snapshot answered.
 	Generation uint64 `json:"generation,omitempty"`
+	// Degraded marks a placeholder, not an answer: the shard owning this
+	// address was unreachable and the gateway was configured to return
+	// partial batches. All data fields are zero; retry for a real answer.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/lookup/batch.
@@ -34,10 +38,13 @@ type BatchRequest struct {
 // BatchResponse answers a batch lookup. Every result was resolved against
 // the single map generation named in Generation — a batch never mixes
 // generations, whether answered by one node or scatter-gathered across a
-// cluster.
+// cluster. When Degraded is set (gateway degraded mode only), a minority
+// of shards was unreachable and their results are per-address placeholders
+// with Degraded set; all real results still share one generation.
 type BatchResponse struct {
 	Generation uint64           `json:"generation"`
 	Results    []LookupResponse `json:"results"`
+	Degraded   bool             `json:"degraded,omitempty"`
 }
 
 // DefaultBatchLimit caps how many addresses one batch request may carry.

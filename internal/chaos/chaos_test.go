@@ -1,0 +1,496 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cellspot/internal/beacon"
+	"cellspot/internal/cellmap"
+	"cellspot/internal/classify"
+	"cellspot/internal/cluster"
+	"cellspot/internal/faultline"
+	"cellspot/internal/federation"
+	"cellspot/internal/live"
+	"cellspot/internal/logio"
+	"cellspot/internal/netaddr"
+	"cellspot/internal/netinfo"
+	"cellspot/internal/snapshot"
+)
+
+// seeds is the fixed schedule set every scenario replays. Three seeds per
+// scenario is the acceptance floor; each seed is a complete, independent
+// fault schedule.
+var seeds = []uint64{1, 2, 3}
+
+// outcome compresses an error to a stable token: error strings carry
+// ephemeral detail (ports, temp paths), the schedule log must not.
+func outcome(err error) string {
+	if err != nil {
+		return "err"
+	}
+	return "ok"
+}
+
+// --- scenario 1: snapshot publish under fs faults and crashes ----------
+
+func mapPayload(gen int) []byte {
+	return []byte(fmt.Sprintf("map-of-generation-%04d\n%s\n", gen, strings.Repeat("entry-line", 50)))
+}
+
+func ckPayload(gen int) []byte {
+	return []byte(fmt.Sprintf(`{"checkpoint_for":%d}`+"\n", gen))
+}
+
+func writeVia(fs faultline.FS, path string, data []byte) error {
+	f, err := fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// publishGen publishes one labeled generation through fs — both the store
+// machinery and the payload writes take faults.
+func publishGen(dir string, fs faultline.FS, gen int) error {
+	st, err := snapshot.OpenFS(dir, fs)
+	if err != nil {
+		return err
+	}
+	_, err = st.Publish(func(staging string) error {
+		if err := writeVia(fs, filepath.Join(staging, "cellmap.jsonl"), mapPayload(gen)); err != nil {
+			return err
+		}
+		return writeVia(fs, filepath.Join(staging, "checkpoint.json"), ckPayload(gen))
+	})
+	return err
+}
+
+// verifyIntactStore reopens the store with the real filesystem and asserts
+// the no-torn-generation invariant: either no CURRENT, or CURRENT names a
+// generation whose files are byte-exact payloads of one label. It returns
+// the current seq (0 when unset).
+func verifyIntactStore(t *testing.T, dir string, maxGen int) uint64 {
+	t.Helper()
+	st, err := snapshot.Open(dir)
+	if err != nil {
+		t.Fatalf("store unopenable after faults: %v", err)
+	}
+	cur, ok, err := st.Current()
+	if err != nil {
+		t.Fatalf("CURRENT unreadable after faults: %v", err)
+	}
+	if !ok {
+		return 0
+	}
+	mb, err := os.ReadFile(cur.Path("cellmap.jsonl"))
+	if err != nil {
+		t.Fatalf("%s: map missing: %v", cur.Name(), err)
+	}
+	cb, err := os.ReadFile(cur.Path("checkpoint.json"))
+	if err != nil {
+		t.Fatalf("%s: checkpoint missing: %v", cur.Name(), err)
+	}
+	for gen := 1; gen <= maxGen; gen++ {
+		if bytes.Equal(mb, mapPayload(gen)) {
+			if !bytes.Equal(cb, ckPayload(gen)) {
+				t.Fatalf("%s: torn generation: map is gen %d, checkpoint is not", cur.Name(), gen)
+			}
+			return cur.Seq
+		}
+	}
+	t.Fatalf("%s: map matches no known generation payload (%d bytes)", cur.Name(), len(mb))
+	return 0
+}
+
+// runSnapshotSchedule replays one seeded schedule: a sequence of publishes
+// through a faulty filesystem, each failure followed by intactness checks
+// and a clean recovery publish. The returned log is the schedule's full
+// event record — byte-identical across replays of the same seed.
+func runSnapshotSchedule(t *testing.T, seed uint64) string {
+	t.Helper()
+	dir := t.TempDir()
+	var log bytes.Buffer
+	const gens = 10
+	var lastSeq uint64
+	faults := 0
+	for gen := 1; gen <= gens; gen++ {
+		// A per-generation seed keeps the draw stream fresh: file keys and
+		// sequence numbers repeat across publishes, and a fixed plan would
+		// fault every generation at the identical step.
+		plan := faultline.NewPlan(seed+uint64(gen)*0x9e3779b9, faultline.PlanConfig{
+			WriteErr: 50, ShortWrite: 40, SyncErr: 40, RenameErr: 40, CreateErr: 30, Crash: 40,
+		})
+		trace := &faultline.Trace{}
+		ffs := faultline.NewFaultFS(faultline.OS(), plan, dir, trace)
+		err := publishGen(dir, ffs, gen)
+		fmt.Fprintf(&log, "publish gen %d: %s\n", gen, outcome(err))
+		log.Write(trace.Log())
+		seq := verifyIntactStore(t, dir, gen)
+		if seq < lastSeq {
+			t.Fatalf("gen %d: CURRENT went backwards (%d -> %d)", gen, lastSeq, seq)
+		}
+		if err == nil && seq <= lastSeq {
+			t.Fatalf("gen %d: successful publish did not advance CURRENT (seq %d)", gen, seq)
+		}
+		lastSeq = seq
+		if err != nil {
+			faults++
+			// Recovery: the same payload published cleanly must land.
+			if err := publishGen(dir, faultline.OS(), gen); err != nil {
+				t.Fatalf("gen %d: clean recovery publish failed: %v", gen, err)
+			}
+			seq := verifyIntactStore(t, dir, gen)
+			if seq <= lastSeq {
+				t.Fatalf("gen %d: recovery publish did not advance CURRENT", gen)
+			}
+			lastSeq = seq
+			fmt.Fprintf(&log, "recover gen %d: ok\n", gen)
+		}
+	}
+	if faults == 0 {
+		t.Fatalf("seed %d: schedule injected no faults; scenario proved nothing", seed)
+	}
+	fmt.Fprintf(&log, "done: %d publishes, %d faulted\n", gens, faults)
+	return log.String()
+}
+
+func TestChaosSnapshotPublish(t *testing.T) {
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			first := runSnapshotSchedule(t, seed)
+			second := runSnapshotSchedule(t, seed)
+			requireIdentical(t, first, second)
+		})
+	}
+}
+
+// requireIdentical diffs two schedule logs byte-for-byte, reporting the
+// first diverging line on failure.
+func requireIdentical(t *testing.T, first, second string) {
+	t.Helper()
+	if first == second {
+		return
+	}
+	a, b := strings.Split(first, "\n"), strings.Split(second, "\n")
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at line %d:\n  run1: %s\n  run2: %s", i+1, a[i], b[i])
+		}
+	}
+	t.Fatalf("replay diverged in length: %d vs %d lines", len(a), len(b))
+}
+
+// --- scenario 2: federation fold under transport faults ----------------
+
+func chaosRecords(n int) []beacon.Record {
+	conns := []string{
+		netinfo.ConnCellular.String(),
+		netinfo.ConnCellular.String(),
+		netinfo.ConnWiFi.String(),
+		netinfo.ConnUnknown.String(),
+	}
+	recs := make([]beacon.Record, 0, n)
+	for i := 0; i < n; i++ {
+		recs = append(recs, beacon.Record{
+			Time: time.Unix((17000+int64(i%4))*86400+3600, 0).UTC(),
+			IP:   netip.MustParseAddr(fmt.Sprintf("10.%d.%d.%d", (i/13)%120, i%240, 1+(i*7)%250)),
+			Conn: conns[i%len(conns)],
+		})
+	}
+	return recs
+}
+
+func chaosInputs() live.MapInputs {
+	return live.MapInputs{ASOf: func(netaddr.Block) (uint32, bool) { return 64496, true }}
+}
+
+// cleanFoldMap is the ground truth: every record folded exactly once into
+// one collector-keyed window, built into a map with the receiver's
+// defaults. A chaotic delivery that retries, rewinds, and replays must
+// produce this byte-for-byte.
+func cleanFoldMap(t *testing.T, collector string, recs []beacon.Record) []byte {
+	t.Helper()
+	win := live.NewMultiWindow(0)
+	for _, rec := range recs {
+		win.Add(collector, rec)
+	}
+	m, err := live.BuildMap(win.Merged(), classify.DefaultThreshold, win.Period(), chaosInputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// runFederationSchedule replays one seeded schedule of transport faults
+// (resets, 5xx, truncated response bodies, zero-sleep latency) against a
+// real shipper→receiver exchange until every sealed byte is durable, then
+// proves exactly-once folding by comparing the published map to the clean
+// fold. Returns the deterministic event log.
+func runFederationSchedule(t *testing.T, seed uint64) string {
+	t.Helper()
+	const collector = "chaos-c1"
+	recs := chaosRecords(240)
+	spool := t.TempDir()
+	sp := logio.NewSpool(spool, "beacon", false, 60) // 4 sealed shards
+	for _, rec := range recs {
+		if err := sp.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := snapshot.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := federation.NewReceiver(federation.ReceiverConfig{
+		Inputs:     chaosInputs(),
+		Store:      store,
+		RetryAfter: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	recv.MountRoutes(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	plan := faultline.NewPlan(seed, faultline.PlanConfig{
+		Reset: 70, ServerErr: 70, PartialBody: 60, Latency: 100,
+	})
+	trace := &faultline.Trace{}
+	shipper, err := federation.NewShipper(federation.ShipperConfig{
+		SpoolDir:     spool,
+		CollectorID:  collector,
+		Target:       srv.URL,
+		SegmentBytes: 4 << 10,
+		MaxAttempts:  8,
+		RetryBase:    time.Millisecond,
+		ShipTimeout:  10 * time.Second,
+		HTTPClient: &http.Client{Transport: &faultline.Transport{
+			Inner: http.DefaultTransport,
+			Inj:   plan,
+			Trace: trace,
+			Sleep: func(time.Duration) {}, // injected latency costs no wall clock
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var log bytes.Buffer
+	ctx := context.Background()
+	done := false
+	for round := 0; round < 300 && !done; round++ {
+		rep, err := shipper.PollOnce(ctx)
+		fmt.Fprintf(&log, "poll %d: segments=%d probes=%d rewinds=%d %s\n",
+			round, rep.Segments, rep.Probes, rep.Rewinds, outcome(err))
+		if _, err := recv.Tick(); err != nil {
+			fmt.Fprintf(&log, "tick %d: err\n", round)
+		}
+		st, err := shipper.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = st.SealedBytes > 0 && st.DurableBytes == st.SealedBytes
+		if done {
+			fmt.Fprintf(&log, "durable after round %d: %d bytes\n", round, st.DurableBytes)
+		}
+	}
+	if !done {
+		t.Fatal("spool never became fully durable under the fault schedule")
+	}
+	if trace.Faults() == 0 {
+		t.Fatalf("seed %d: no transport faults fired; scenario proved nothing", seed)
+	}
+
+	// Exactly-once: the published map equals the clean single fold.
+	cur, ok, err := store.Current()
+	if err != nil || !ok {
+		t.Fatalf("no published generation (ok=%v err=%v)", ok, err)
+	}
+	got, err := os.ReadFile(cur.Path(live.MapFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cleanFoldMap(t, collector, recs); !bytes.Equal(got, want) {
+		t.Fatalf("published map diverges from the clean fold: chaotic delivery folded records more or less than once")
+	}
+	log.Write(trace.Log())
+	return log.String()
+}
+
+func TestChaosFederationFold(t *testing.T) {
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			first := runFederationSchedule(t, seed)
+			second := runFederationSchedule(t, seed)
+			requireIdentical(t, first, second)
+		})
+	}
+}
+
+// TestChaosDeterminismGate is the CI determinism gate in its narrowest
+// form: one fixed schedule, replayed twice, event logs diffed
+// byte-for-byte. The scenario tests above replay every seed; this one
+// exists so the gate has a stable name that survives scenario refactors.
+func TestChaosDeterminismGate(t *testing.T) {
+	const seed = 0xC0FFEE
+	requireIdentical(t, runSnapshotSchedule(t, seed), runSnapshotSchedule(t, seed))
+}
+
+// --- scenario 3: gateway scatter-gather under faults and swaps ---------
+
+func chaosMap(t *testing.T, gen int) *cellmap.Map {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"format":"cellspot-map/1","threshold":0.5,"period":"2016-w%02d","entries":16}`+"\n", 30+gen)
+	for i := 0; i < 16; i++ {
+		fmt.Fprintf(&b, `{"prefix":"10.0.%d.0/24","asn":%d,"ratio":0.7,"du":%d,"country":"DE"}`+"\n",
+			i, 100*gen+i, i+1)
+	}
+	m, err := cellmap.Read(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestChaosGatewayScatterGather hammers a 3-shard × 2-replica fleet with 8
+// concurrent clients through a fault-injecting transport while replicas
+// swap generations underneath, asserting the consistency invariants on
+// every successful response: a batch never mixes generations, and partial
+// answers are explicitly marked degraded. Timing makes this scenario
+// schedule-dependent, so it checks invariants rather than replaying a
+// byte-identical log; -race supplies the memory-model teeth.
+func TestChaosGatewayScatterGather(t *testing.T) {
+	for _, seed := range []uint64{11, 12, 13} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const shards, reps = 3, 2
+			gen1, gen2 := chaosMap(t, 1), chaosMap(t, 2)
+			ring := cluster.NewRing(shards, cluster.DefaultVNodes)
+			topo := cluster.Topology{Format: cluster.TopologyFormat}
+			sws := make([][]*cellmap.Swappable, shards)
+			for s := 0; s < shards; s++ {
+				spec := cluster.ShardSpec{}
+				sws[s] = make([]*cellmap.Swappable, reps)
+				for j := 0; j < reps; j++ {
+					sw := cellmap.NewSwappable(gen1, 1)
+					sws[s][j] = sw
+					view, err := cluster.NewShardView(sw, ring, s)
+					if err != nil {
+						t.Fatal(err)
+					}
+					mux := http.NewServeMux()
+					cluster.MountShard(mux, view)
+					srv := httptest.NewServer(mux)
+					t.Cleanup(srv.Close)
+					spec.Replicas = append(spec.Replicas, srv.URL)
+				}
+				topo.Shards = append(topo.Shards, spec)
+			}
+
+			plan := faultline.NewPlan(seed, faultline.PlanConfig{
+				Reset: 50, ServerErr: 50, PartialBody: 40,
+			})
+			g, err := cluster.NewGateway(cluster.GatewayConfig{
+				Topology: topo,
+				Client: &http.Client{
+					Transport: &faultline.Transport{
+						Inner: http.DefaultTransport,
+						Inj:   plan,
+						Sleep: func(time.Duration) {},
+					},
+					Timeout: 5 * time.Second,
+				},
+				Attempts:         2,
+				HedgeDelay:       2 * time.Millisecond,
+				BreakerThreshold: 4,
+				BreakerCooldown:  20 * time.Millisecond,
+				AllowDegraded:    true,
+				CacheSize:        256,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var addrs []netip.Addr
+			for i := 0; i < 16; i++ {
+				addrs = append(addrs, netip.MustParseAddr(fmt.Sprintf("10.0.%d.5", i)))
+			}
+
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			successes, failures := 0, 0
+			for c := 0; c < 8; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 40; i++ {
+						br, err := g.Batch(context.Background(), addrs)
+						if err != nil {
+							mu.Lock()
+							failures++
+							mu.Unlock()
+							continue
+						}
+						if br.Generation != 1 && br.Generation != 2 {
+							t.Errorf("batch at unknown generation %d", br.Generation)
+						}
+						if len(br.Results) != len(addrs) {
+							t.Errorf("batch returned %d results for %d addrs", len(br.Results), len(addrs))
+						}
+						for _, r := range br.Results {
+							if r.Degraded {
+								if !br.Degraded {
+									t.Error("degraded result in a response not marked degraded")
+								}
+								continue
+							}
+							if r.Generation != br.Generation {
+								t.Errorf("mixed generations in one batch: result %d, response %d",
+									r.Generation, br.Generation)
+							}
+						}
+						mu.Lock()
+						successes++
+						mu.Unlock()
+					}
+				}()
+			}
+			// Staggered rolling swap to generation 2 while clients hammer.
+			for s := 0; s < shards; s++ {
+				for j := 0; j < reps; j++ {
+					time.Sleep(3 * time.Millisecond)
+					sws[s][j].Swap(gen2, 2)
+				}
+			}
+			wg.Wait()
+			if successes == 0 {
+				t.Fatalf("no batch ever succeeded under the fault schedule (%d failures)", failures)
+			}
+			t.Logf("seed %d: %d successes, %d failures", seed, successes, failures)
+		})
+	}
+}

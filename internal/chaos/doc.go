@@ -1,0 +1,11 @@
+// Package chaos holds the end-to-end fault-injection suite: deterministic
+// fault schedules (internal/faultline plans keyed by seed) driven through
+// the snapshot store, the federation plane, and the gateway scatter-gather
+// path, asserting the system's durability invariants under fire — no torn
+// generations, exactly-once folding, no mixed-generation batches — and
+// that a fixed-seed schedule replays byte-identically.
+//
+// The package has no production code; everything lives in the _test files.
+// CI runs it under -race as the "chaos" step, plus a determinism gate that
+// replays one schedule twice and diffs the event logs byte-for-byte.
+package chaos

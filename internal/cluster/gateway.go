@@ -52,6 +52,20 @@ type GatewayConfig struct {
 	HealthInterval time.Duration
 	// HealthTimeout bounds one health probe. Default 500ms.
 	HealthTimeout time.Duration
+	// BreakerThreshold is how many consecutive request-path failures open a
+	// replica's circuit breaker. Default 5; negative disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses traffic before
+	// letting a half-open probe through. Default 1s.
+	BreakerCooldown time.Duration
+	// BreakerLatencyBudget, when positive, counts successful answers slower
+	// than this as breaker failures (brownout detection). Default off.
+	BreakerLatencyBudget time.Duration
+	// AllowDegraded opts the gateway into degraded batch mode: when a
+	// minority of a batch's shards cannot answer, the batch succeeds with
+	// per-address placeholders marked "degraded" instead of failing whole.
+	// Default false — strict whole-batch failure, the historical behavior.
+	AllowDegraded bool
 	// Logf receives operational log lines; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -81,6 +95,12 @@ func (c *GatewayConfig) fillDefaults() {
 	if c.HealthTimeout <= 0 {
 		c.HealthTimeout = 500 * time.Millisecond
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
 }
 
 // Gateway fronts the shard fleet: it owns the routing decision (via the
@@ -102,6 +122,7 @@ type Gateway struct {
 	mHedges    []*obs.Counter
 	mFanout    *obs.Histogram
 	mConflicts *obs.Counter
+	mDegraded  *obs.Counter
 }
 
 // NewGateway validates the topology and builds a gateway. Call Run (or
@@ -126,6 +147,8 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		"Batch scatter-gather wall time in seconds.", obs.DefBuckets)
 	g.mConflicts = reg.Counter("cluster_generation_conflicts_total",
 		"Batch rounds that observed mixed shard generations.")
+	g.mDegraded = reg.Counter("cluster_degraded_batches_total",
+		"Batches answered partially because a minority of shards was dark.")
 	for s, spec := range cfg.Topology.Shards {
 		g.lat[s] = &latencyTracker{}
 		label := obs.L("shard", strconv.Itoa(s))
@@ -148,6 +171,13 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 					"Map generation the replica last reported.",
 					label, obs.L("replica", strconv.Itoa(j))),
 			}
+			if cfg.BreakerThreshold > 0 {
+				rep.br = newBreaker(int64(cfg.BreakerThreshold), cfg.BreakerCooldown,
+					cfg.BreakerLatencyBudget,
+					reg.Gauge("cluster_breaker_state",
+						"Replica circuit breaker: 0 closed, 1 half-open, 2 open.",
+						label, obs.L("replica", strconv.Itoa(j))))
+			}
 			reps = append(reps, rep)
 		}
 		g.replicas = append(g.replicas, reps)
@@ -161,13 +191,18 @@ func (g *Gateway) Ring() *Ring { return g.ring }
 // replicaOrder ranks a shard's replicas for one request: healthy replicas
 // at or above minGen first, then healthy laggards, then everything else —
 // each class rotated round-robin so load spreads across equals. minGen 0
-// means "any generation".
+// means "any generation". Replicas whose circuit breaker refuses traffic
+// are excluded — unless that would leave nothing, in which case they all
+// come back (a long-shot attempt beats refusing the request outright, and
+// keeps the all-replicas-down error path intact).
 func (g *Gateway) replicaOrder(shard int, minGen uint64) []*replica {
 	reps := g.replicas[shard]
 	n := len(reps)
 	start := int(g.rr[shard].Add(1)) % n
+	now := time.Now()
 	order := make([]*replica, 0, n)
-	for class := 0; class < 3 && len(order) < n; class++ {
+	refused := make([]*replica, 0, n)
+	for class := 0; class < 3 && len(order)+len(refused) < n; class++ {
 		for k := 0; k < n; k++ {
 			rep := reps[(start+k)%n]
 			up := rep.up.Load()
@@ -180,10 +215,18 @@ func (g *Gateway) replicaOrder(shard int, minGen uint64) []*replica {
 			default:
 				c = 2
 			}
-			if c == class {
+			if c != class {
+				continue
+			}
+			if rep.br.allow(now) {
 				order = append(order, rep)
+			} else {
+				refused = append(refused, rep)
 			}
 		}
+	}
+	if len(order) == 0 {
+		return refused
 	}
 	return order
 }
@@ -197,27 +240,60 @@ type tryResult struct {
 	dur    time.Duration
 }
 
-// issueOne sends build(rep) and reports into ch.
+// DeadlineHeader carries the gateway's request deadline to shard nodes as
+// unix microseconds, so a shard can refuse work whose caller is already
+// gone instead of computing an answer nobody will read.
+const DeadlineHeader = "X-Cellspot-Deadline"
+
+// issueOne sends build(rep), reports into ch, and owns the attempt's
+// bookkeeping (error counters, consecutive-failure count, breaker verdict,
+// latency sample, health flip on transport errors). Recording lives here —
+// not in the receive loop — because hedging abandons losers, and an
+// abandoned attempt's outcome must still be folded in. The one exception:
+// an attempt cancelled from outside (caller gone, or a hedge sibling won)
+// says nothing about the replica, so it records no verdict at all.
 func (g *Gateway) issueOne(ctx context.Context, rep *replica, build func(url string) (*http.Request, error), ch chan<- tryResult) {
 	g.mRequests[rep.shard].Inc()
 	start := time.Now()
+	res := g.doOne(ctx, rep, build)
+	res.dur = time.Since(start)
+	if ctx.Err() != nil && res.err != nil {
+		rep.br.abandon()
+	} else if res.ok() {
+		rep.fails.Store(0)
+		rep.br.record(true, res.dur, time.Now())
+		g.lat[rep.shard].observe(res.dur)
+	} else {
+		g.mErrors[rep.shard].Inc()
+		rep.fails.Add(1)
+		rep.br.record(false, res.dur, time.Now())
+		if res.err != nil {
+			// Transport-level failure: flip the health view now instead of
+			// waiting for the next probe.
+			g.markDown(rep)
+		}
+	}
+	ch <- res // buffered to the launch count; never blocks
+}
+
+func (g *Gateway) doOne(ctx context.Context, rep *replica, build func(url string) (*http.Request, error)) tryResult {
 	req, err := build(rep.url)
 	if err != nil {
-		ch <- tryResult{err: err, rep: rep}
-		return
+		return tryResult{err: err, rep: rep}
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		req.Header.Set(DeadlineHeader, strconv.FormatInt(dl.UnixMicro(), 10))
 	}
 	resp, err := g.cfg.Client.Do(req.WithContext(ctx))
 	if err != nil {
-		ch <- tryResult{err: err, rep: rep}
-		return
+		return tryResult{err: err, rep: rep}
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
-		ch <- tryResult{err: err, rep: rep}
-		return
+		return tryResult{err: err, rep: rep}
 	}
-	ch <- tryResult{status: resp.StatusCode, body: body, rep: rep, dur: time.Since(start)}
+	return tryResult{status: resp.StatusCode, body: body, rep: rep}
 }
 
 // ok reports whether an attempt's answer should be served. 4xx answers
@@ -231,15 +307,48 @@ func (t tryResult) ok() bool {
 
 // hedgedTry runs one pass over order: fire the first replica, hedge to
 // the next after the shard's hedge delay, and keep escalating — each
-// subsequent hedge waits the same delay. The first serveable answer wins;
-// losers are abandoned (their goroutines drain on their own).
+// subsequent hedge waits the same delay. The first serveable answer wins.
+// Every try runs under its own cancellable context, so when a winner
+// returns — or the caller disconnects — the losing in-flight requests are
+// aborted instead of running to completion against busy replicas.
+//
+// Launching consults each replica's circuit breaker (acquire, the mutating
+// check): a refused replica is skipped. If nothing at all is acquirable,
+// the first replica is tried anyway — a last-resort attempt keeps the
+// request path honest (a real error, not a synthetic refusal) when a whole
+// shard's breakers are open.
 func (g *Gateway) hedgedTry(ctx context.Context, shard int, order []*replica, build func(url string) (*http.Request, error)) (tryResult, bool) {
 	if len(order) == 0 {
 		return tryResult{}, false
 	}
 	ch := make(chan tryResult, len(order))
-	launched := 1
-	go g.issueOne(ctx, order[0], build, ch)
+	cancels := make([]context.CancelFunc, 0, len(order))
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	next, launched := 0, 0
+	launch := func(force bool) bool {
+		for next < len(order) {
+			rep := order[next]
+			next++
+			if !force && !rep.br.acquire(time.Now()) {
+				continue
+			}
+			tryCtx, cancel := context.WithCancel(ctx)
+			cancels = append(cancels, cancel)
+			launched++
+			go g.issueOne(tryCtx, rep, build, ch)
+			return true
+		}
+		return false
+	}
+	if !launch(false) {
+		next = 0
+		launch(true)
+	}
 
 	delay := g.hedgeDelay(shard)
 	timer := time.NewTimer(delay)
@@ -251,31 +360,17 @@ func (g *Gateway) hedgedTry(ctx context.Context, shard int, order []*replica, bu
 		case <-ctx.Done():
 			return tryResult{err: ctx.Err()}, false
 		case <-timer.C:
-			if launched < len(order) {
+			if launch(false) {
 				g.mHedges[shard].Inc()
-				go g.issueOne(ctx, order[launched], build, ch)
-				launched++
 				timer.Reset(delay)
 			}
 		case res := <-ch:
 			if res.ok() {
-				res.rep.fails.Store(0)
-				g.lat[shard].observe(res.dur)
 				return res, true
 			}
-			g.mErrors[shard].Inc()
-			res.rep.fails.Add(1)
-			if res.err != nil {
-				// Transport-level failure: flip the health view now
-				// instead of waiting for the next probe.
-				g.markDown(res.rep)
-			}
 			failed++
-			if launched < len(order) {
-				// Skip the hedge wait: we know the last try failed.
-				go g.issueOne(ctx, order[launched], build, ch)
-				launched++
-			} else if failed == launched {
+			// Skip the hedge wait: we know the last try failed.
+			if !launch(false) && failed == launched {
 				return res, false
 			}
 		}
@@ -449,10 +544,23 @@ func (g *Gateway) Batch(ctx context.Context, addrs []netip.Addr) (cellmap.BatchR
 	return resp, nil
 }
 
+// batchSpan counts the distinct shards a batch touches. Degraded-mode
+// minority decisions are made against the client's full batch, not a
+// cache-miss subset — otherwise a warm cache could shrink the miss set to
+// exactly the dark shard and flip "1 of 3 shards dark" into "1 of 1".
+func (g *Gateway) batchSpan(addrs []netip.Addr) int {
+	seen := make(map[int]struct{}, 4)
+	for _, a := range addrs {
+		seen[g.ring.Owner(a)] = struct{}{}
+	}
+	return len(seen)
+}
+
 func (g *Gateway) batchCached(ctx context.Context, addrs []netip.Addr) (cellmap.BatchResponse, error) {
 	if g.cache == nil {
-		return g.batchFetch(ctx, addrs, 0)
+		return g.batchFetch(ctx, addrs, 0, 0)
 	}
+	span := g.batchSpan(addrs)
 	out := make([]cellmap.LookupResponse, len(addrs))
 	hit := make([]bool, len(addrs))
 	cgen := g.cache.getMany(addrs, out, hit)
@@ -467,7 +575,7 @@ func (g *Gateway) batchCached(ctx context.Context, addrs []netip.Addr) (cellmap.
 		return cellmap.BatchResponse{Generation: cgen, Results: out}, nil
 	}
 
-	fetched, err := g.batchFetch(ctx, miss, cgen)
+	fetched, err := g.batchFetch(ctx, miss, cgen, span)
 	if err != nil {
 		return cellmap.BatchResponse{}, err
 	}
@@ -476,12 +584,17 @@ func (g *Gateway) batchCached(ctx context.Context, addrs []netip.Addr) (cellmap.
 		// A swap landed between the cache read and the fetch: the hits
 		// belong to an older snapshot than the fetched answers. Refetch
 		// everything at the new generation rather than mix.
-		fetched, err = g.batchFetch(ctx, addrs, fetched.Generation)
+		fetched, err = g.batchFetch(ctx, addrs, fetched.Generation, span)
 		if err != nil {
 			return cellmap.BatchResponse{}, err
 		}
 		g.cache.observe(fetched.Generation)
 		for i, r := range fetched.Results {
+			if r.Degraded {
+				// A placeholder is an admission of ignorance, not an
+				// answer; caching it would serve the outage after it ends.
+				continue
+			}
 			g.cache.put(fetched.Generation, addrs[i], r)
 		}
 		return fetched, nil
@@ -490,16 +603,20 @@ func (g *Gateway) batchCached(ctx context.Context, addrs []netip.Addr) (cellmap.
 	for i, h := range hit {
 		if !h {
 			out[i] = fetched.Results[k]
-			g.cache.put(fetched.Generation, addrs[i], out[i])
+			if !out[i].Degraded {
+				g.cache.put(fetched.Generation, addrs[i], out[i])
+			}
 			k++
 		}
 	}
-	return cellmap.BatchResponse{Generation: fetched.Generation, Results: out}, nil
+	return cellmap.BatchResponse{Generation: fetched.Generation, Results: out, Degraded: fetched.Degraded}, nil
 }
 
 // batchFetch scatter-gathers a batch lookup across the owning shards and
 // merges the answers back into request order. minGen biases replica
-// selection toward replicas at or past that generation.
+// selection toward replicas at or past that generation. span is the shard
+// count of the client's full batch for degraded-mode minority decisions
+// (0 means "this call is the full batch").
 //
 // The generation-consistency guard: a response is only returned when
 // every sub-answer carries the same generation. When a gather observes a
@@ -507,12 +624,15 @@ func (g *Gateway) batchCached(ctx context.Context, addrs []netip.Addr) (cellmap.
 // the health view says have reached the target generation — for up to
 // GenRounds rounds, then fails with ErrGenerationSplit rather than serve
 // a frankenbatch spanning two snapshots.
-func (g *Gateway) batchFetch(ctx context.Context, addrs []netip.Addr, minGen uint64) (cellmap.BatchResponse, error) {
+func (g *Gateway) batchFetch(ctx context.Context, addrs []netip.Addr, minGen uint64, span int) (cellmap.BatchResponse, error) {
 	// Group addresses by owning shard, remembering request positions.
 	groups := make(map[int][]int)
 	for i, a := range addrs {
 		s := g.ring.Owner(a)
 		groups[s] = append(groups[s], i)
+	}
+	if span < len(groups) {
+		span = len(groups)
 	}
 	sub := make(map[int][]netip.Addr, len(groups))
 	for s, idxs := range groups {
@@ -524,11 +644,15 @@ func (g *Gateway) batchFetch(ctx context.Context, addrs []netip.Addr, minGen uin
 	}
 
 	results := make(map[int]cellmap.BatchResponse, len(groups))
-	fetch := func(shards []int, minGen uint64) error {
+	// dark accumulates shards that could not answer. In strict mode (the
+	// default) any entry fails the batch; in degraded mode a minority of
+	// dark shards is tolerated and their addresses answered with explicit
+	// placeholders.
+	dark := make(map[int]error)
+	fetch := func(shards []int, minGen uint64) {
 		var (
-			mu      sync.Mutex
-			wg      sync.WaitGroup
-			firstEB error
+			mu sync.Mutex
+			wg sync.WaitGroup
 		)
 		for _, s := range shards {
 			wg.Add(1)
@@ -538,23 +662,41 @@ func (g *Gateway) batchFetch(ctx context.Context, addrs []netip.Addr, minGen uin
 				mu.Lock()
 				defer mu.Unlock()
 				if err != nil {
-					if firstEB == nil {
-						firstEB = err
-					}
+					dark[s] = err
+					delete(results, s)
 					return
 				}
 				results[s] = br
+				delete(dark, s)
 			}(s)
 		}
 		wg.Wait()
-		return firstEB
+	}
+	// tolerate reports whether the dark set is acceptable: degraded mode
+	// on, a strict minority of the batch's shard span dark (a single-shard
+	// batch therefore never degrades), and the caller's context live (a
+	// cancelled scatter says nothing about shard health).
+	tolerate := func() error {
+		if len(dark) == 0 {
+			return nil
+		}
+		var anyErr error
+		for _, err := range dark {
+			anyErr = err
+			break
+		}
+		if !g.cfg.AllowDegraded || 2*len(dark) >= span || ctx.Err() != nil {
+			return anyErr
+		}
+		return nil
 	}
 
 	all := make([]int, 0, len(groups))
 	for s := range groups {
 		all = append(all, s)
 	}
-	if err := fetch(all, minGen); err != nil {
+	fetch(all, minGen)
+	if err := tolerate(); err != nil {
 		return cellmap.BatchResponse{}, err
 	}
 
@@ -597,18 +739,35 @@ func (g *Gateway) batchFetch(ctx context.Context, addrs []netip.Addr, minGen uin
 			return cellmap.BatchResponse{}, ctx.Err()
 		case <-time.After(g.cfg.Backoff):
 		}
-		if err := fetch(lagging, target); err != nil {
+		fetch(lagging, target)
+		if err := tolerate(); err != nil {
 			return cellmap.BatchResponse{}, err
 		}
 	}
 
-	out := cellmap.BatchResponse{Results: make([]cellmap.LookupResponse, len(addrs))}
+	// With every reached shard converged, Generation is their common value;
+	// minGen covers the corner where the whole (tolerated) fetch was dark —
+	// the caller's cache generation is the only honest label left.
+	out := cellmap.BatchResponse{Generation: minGen, Results: make([]cellmap.LookupResponse, len(addrs))}
 	for s, idxs := range groups {
-		br := results[s]
+		br, ok := results[s]
+		if !ok {
+			// Dark shard under degraded mode: explicit placeholders, never
+			// silent zero-value answers a client could mistake for data.
+			for k, i := range idxs {
+				out.Results[i] = cellmap.LookupResponse{Addr: sub[s][k].String(), Degraded: true}
+			}
+			out.Degraded = true
+			continue
+		}
 		out.Generation = br.Generation
 		for k, i := range idxs {
 			out.Results[i] = br.Results[k]
 		}
+	}
+	if out.Degraded {
+		g.mDegraded.Inc()
+		g.logf("batch: degraded answer, %d/%d shards dark", len(dark), len(groups))
 	}
 	return out, nil
 }

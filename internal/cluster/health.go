@@ -23,6 +23,7 @@ type replica struct {
 	up    atomic.Bool
 	gen   atomic.Uint64
 	fails atomic.Int64 // consecutive request-path failures
+	br    *breaker     // nil when breakers are disabled
 
 	mUp  *obs.Gauge
 	mGen *obs.Gauge
@@ -35,6 +36,9 @@ type ReplicaStatus struct {
 	URL        string `json:"url"`
 	Up         bool   `json:"up"`
 	Generation uint64 `json:"generation"`
+	// Breaker is the replica's circuit-breaker state: "closed",
+	// "half-open", or "open".
+	Breaker string `json:"breaker"`
 }
 
 // GatewayHealth is the body of GET /v1/cluster/health on a gateway: the
@@ -161,6 +165,7 @@ func (g *Gateway) Health() GatewayHealth {
 				URL:        rep.url,
 				Up:         rep.up.Load(),
 				Generation: rep.gen.Load(),
+				Breaker:    rep.br.stateName(),
 			})
 		}
 	}

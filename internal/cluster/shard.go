@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"net/http"
 	"net/netip"
+	"strconv"
 	"sync/atomic"
+	"time"
 
 	"cellspot/internal/cellmap"
 	"cellspot/internal/netaddr"
@@ -41,8 +43,16 @@ type ShardView struct {
 	// expands every prefix once, so health checks must not repeat it.
 	owned atomic.Pointer[ownedCount]
 
+	// maxInflight bounds concurrently served lookup/batch requests; beyond
+	// it the node sheds with 503 + Retry-After instead of queueing into
+	// collapse. 0 means unbounded. Health and info stay exempt so the
+	// gateway's view of a shedding node remains accurate.
+	maxInflight int64
+	inflight    atomic.Int64
+
 	mMisrouted *obs.Counter
 	mOwned     *obs.Gauge
+	mShed      *obs.Counter
 }
 
 type ownedCount struct {
@@ -61,6 +71,15 @@ func NewShardView(src cellmap.Source, ring *Ring, id int) (*ShardView, error) {
 // ID returns the shard index this view serves.
 func (v *ShardView) ID() int { return v.id }
 
+// SetMaxInflight bounds concurrent lookup/batch requests (0 = unbounded).
+// Call before mounting; the limit is read without synchronization.
+func (v *ShardView) SetMaxInflight(n int) {
+	if n < 0 {
+		n = 0
+	}
+	v.maxInflight = int64(n)
+}
+
 // EnableMetrics registers the shard-side cluster metrics:
 //
 //	cluster_misrouted_total  counter: requests for addresses this shard
@@ -71,6 +90,8 @@ func (v *ShardView) EnableMetrics(reg *obs.Registry) {
 		"Requests for addresses outside this shard's partition.")
 	v.mOwned = reg.Gauge("cluster_owned_entries",
 		"Entries of the served map owned by this shard.")
+	v.mShed = reg.Counter("cluster_shed_total",
+		"Requests refused by admission control (in-flight bound).")
 	m, _ := v.src.Current()
 	v.mOwned.Set(int64(v.ownedEntries(m)))
 }
@@ -117,8 +138,14 @@ func (v *ShardView) ownedEntries(m *cellmap.Map) int {
 //
 // Like the single-node service, every handler resolves the source exactly
 // once per request, so one response never mixes generations.
+//
+// Lookup and batch run behind two degradation guards: admission control
+// (SetMaxInflight; excess requests get 503 + Retry-After instead of
+// queueing) and deadline enforcement (a request whose propagated gateway
+// deadline — see DeadlineHeader — already passed gets 504 without touching
+// the map; its caller stopped listening).
 func MountShard(r cellmap.Router, v *ShardView) {
-	r.HandleFunc("GET /v1/lookup", func(w http.ResponseWriter, req *http.Request) {
+	r.HandleFunc("GET /v1/lookup", v.guard(func(w http.ResponseWriter, req *http.Request) {
 		q := req.URL.Query().Get("ip")
 		if q == "" {
 			cellmap.WriteError(w, http.StatusBadRequest, "missing ip parameter")
@@ -137,8 +164,8 @@ func MountShard(r cellmap.Router, v *ShardView) {
 		}
 		m, gen := v.src.Current()
 		cellmap.WriteJSON(w, cellmap.LookupAddr(m, gen, addr, q))
-	})
-	r.HandleFunc("POST /v1/lookup/batch", func(w http.ResponseWriter, req *http.Request) {
+	}))
+	r.HandleFunc("POST /v1/lookup/batch", v.guard(func(w http.ResponseWriter, req *http.Request) {
 		addrs, names, ok := cellmap.DecodeBatch(w, req, cellmap.DefaultBatchLimit)
 		if !ok {
 			return
@@ -157,7 +184,7 @@ func MountShard(r cellmap.Router, v *ShardView) {
 			resp.Results = append(resp.Results, cellmap.LookupAddr(m, gen, a, names[i]))
 		}
 		cellmap.WriteJSON(w, resp)
-	})
+	}))
 	r.HandleFunc("GET /v1/cluster/health", func(w http.ResponseWriter, _ *http.Request) {
 		m, gen := v.src.Current()
 		cellmap.WriteJSON(w, HealthResponse{
@@ -170,4 +197,32 @@ func MountShard(r cellmap.Router, v *ShardView) {
 		})
 	})
 	cellmap.MountInfo(r, v.src)
+}
+
+// guard wraps a serving handler with the shard's degradation policy:
+// deadline enforcement first (free), then the in-flight bound.
+func (v *ShardView) guard(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if h := req.Header.Get(DeadlineHeader); h != "" {
+			if micros, err := strconv.ParseInt(h, 10, 64); err == nil {
+				if !time.Now().Before(time.UnixMicro(micros)) {
+					cellmap.WriteError(w, http.StatusGatewayTimeout,
+						"request deadline expired before processing")
+					return
+				}
+			}
+		}
+		if v.maxInflight > 0 {
+			if v.inflight.Add(1) > v.maxInflight {
+				v.inflight.Add(-1)
+				v.mShed.Inc()
+				w.Header().Set("Retry-After", "1")
+				cellmap.WriteError(w, http.StatusServiceUnavailable,
+					"shard at capacity, retry")
+				return
+			}
+			defer v.inflight.Add(-1)
+		}
+		next(w, req)
+	}
 }

@@ -1,0 +1,213 @@
+package faultline
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Same seed, same op stream, same decisions — regardless of the order the
+// ops are presented in.
+func TestPlanDeterministic(t *testing.T) {
+	cfg := PlanConfig{
+		WriteErr: 100, ShortWrite: 50, SyncErr: 80, RenameErr: 80, Crash: 30,
+		Reset: 100, ServerErr: 100, PartialBody: 50, Latency: 50, MaxLatency: 10 * time.Millisecond,
+	}
+	ops := []Op{}
+	for _, kind := range []string{"write", "sync", "rename", "create", "http"} {
+		for _, key := range []string{"a/file", "b/file", "POST /v1/segments"} {
+			for seq := uint64(1); seq <= 50; seq++ {
+				ops = append(ops, Op{Kind: kind, Key: key, Seq: seq})
+			}
+		}
+	}
+	p1 := NewPlan(7, cfg)
+	p2 := NewPlan(7, cfg)
+	faults := 0
+	for i := len(ops) - 1; i >= 0; i-- { // reversed order on purpose
+		d1, d2 := p1.Decide(ops[i]), p2.Decide(ops[len(ops)-1-i])
+		want := p2.Decide(ops[i])
+		if d1.String() != want.String() {
+			t.Fatalf("op %v: %q vs %q", ops[i], d1, want)
+		}
+		_ = d2
+		if d1.fault() {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("plan with ~10% rates injected nothing over 750 ops")
+	}
+	p3 := NewPlan(8, cfg)
+	diff := 0
+	for _, op := range ops {
+		if p1.Decide(op).String() != p3.Decide(op).String() {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestFaultFSErrorAndShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	// Fail the 2nd write op outright.
+	step := &StepInjector{N: 2, D: Decision{Err: ErrInjected}, Filter: func(op Op) bool { return op.Kind == "write" }}
+	fs := NewFaultFS(OS(), step, dir, nil)
+	f, err := fs.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("one")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write err = %v, want ErrInjected", err)
+	}
+	f.Close()
+
+	// Short write: 2 bytes persist, then the op fails.
+	short := &StepInjector{N: 1, D: Decision{Short: 2}, Filter: func(op Op) bool { return op.Kind == "write" }}
+	fs2 := NewFaultFS(OS(), short, dir, nil)
+	g, err := fs2.Create(filepath.Join(dir, "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := g.Write([]byte("hello"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	g.Close()
+	got, _ := os.ReadFile(filepath.Join(dir, "y"))
+	if string(got) != "he" {
+		t.Fatalf("persisted %q, want %q", got, "he")
+	}
+}
+
+func TestFaultFSCrashFreezes(t *testing.T) {
+	dir := t.TempDir()
+	tr := &Trace{}
+	step := &StepInjector{N: 1, D: Decision{Crash: true}, Filter: func(op Op) bool { return op.Kind == "rename" }}
+	fs := NewFaultFS(OS(), step, dir, tr)
+
+	f, err := fs.Create(filepath.Join(dir, "a.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	err = fs.Rename(filepath.Join(dir, "a.tmp"), filepath.Join(dir, "a"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename at crash point: %v", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("fs not frozen after crash point")
+	}
+	// The rename did not apply, and every later op fails.
+	if _, err := os.Stat(filepath.Join(dir, "a")); !os.IsNotExist(err) {
+		t.Fatal("crashed rename was applied")
+	}
+	if _, err := fs.Create(filepath.Join(dir, "b")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("create after crash: %v", err)
+	}
+	if _, err := fs.ReadFile(filepath.Join(dir, "a.tmp")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash: %v", err)
+	}
+	// The pre-crash bytes are intact when reopened outside the frozen shim.
+	got, err := os.ReadFile(filepath.Join(dir, "a.tmp"))
+	if err != nil || string(got) != "data" {
+		t.Fatalf("pre-crash file: %q, %v", got, err)
+	}
+}
+
+// Op keys are relative to the root, so schedules survive temp-dir renaming.
+func TestFaultFSKeysRelativeToRoot(t *testing.T) {
+	dir := t.TempDir()
+	tr := &Trace{}
+	fs := NewFaultFS(OS(), Clean{}, dir, tr)
+	f, _ := fs.Create(filepath.Join(dir, "sub", "..", "file"))
+	if f != nil {
+		f.Close()
+	}
+	log := string(tr.Log())
+	if bytes.Contains([]byte(log), []byte(dir)) {
+		t.Fatalf("trace leaks absolute path:\n%s", log)
+	}
+}
+
+func TestTraceSortedAndStable(t *testing.T) {
+	tr := &Trace{}
+	tr.Record(Op{Kind: "write", Key: "b", Seq: 2}, Decision{})
+	tr.Record(Op{Kind: "sync", Key: "a", Seq: 1}, Decision{Err: ErrInjected})
+	tr.Record(Op{Kind: "write", Key: "b", Seq: 1}, Decision{Short: 3})
+
+	tr2 := &Trace{}
+	tr2.Record(Op{Kind: "write", Key: "b", Seq: 1}, Decision{Short: 3})
+	tr2.Record(Op{Kind: "write", Key: "b", Seq: 2}, Decision{})
+	tr2.Record(Op{Kind: "sync", Key: "a", Seq: 1}, Decision{Err: ErrInjected})
+
+	if !bytes.Equal(tr.Log(), tr2.Log()) {
+		t.Fatalf("same events, different logs:\n%s\nvs\n%s", tr.Log(), tr2.Log())
+	}
+	if tr.Faults() != 2 {
+		t.Fatalf("Faults() = %d, want 2", tr.Faults())
+	}
+}
+
+func TestTransportFaults(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("0123456789abcdef"))
+	}))
+	defer srv.Close()
+
+	get := func(tp *Transport) (*http.Response, []byte, error) {
+		cl := &http.Client{Transport: tp}
+		resp, err := cl.Get(srv.URL + "/v1/x")
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		b, rerr := io.ReadAll(resp.Body)
+		return resp, b, rerr
+	}
+
+	// Reset.
+	_, _, err := get(&Transport{Inj: &StepInjector{N: 1, D: Decision{Err: ErrInjected}, Filter: func(op Op) bool { return op.Kind == "http" }}})
+	if err == nil || !errors.Is(errors.Unwrap(err), ErrInjected) && !errors.Is(err, ErrInjected) {
+		t.Fatalf("reset: err = %v, want ErrInjected", err)
+	}
+
+	// Synthesized 5xx never reaches the server's handler output.
+	resp, body, err := get(&Transport{Inj: &StepInjector{N: 1, D: Decision{Status: 503}, Filter: func(op Op) bool { return op.Kind == "http" }}})
+	if err != nil || resp.StatusCode != 503 || len(body) != 0 {
+		t.Fatalf("5xx: status=%v body=%q err=%v", resp, body, err)
+	}
+
+	// Truncated body: 4 bytes then unexpected EOF.
+	resp, body, err = get(&Transport{Inj: &StepInjector{N: 1, D: Decision{Short: 4}, Filter: func(op Op) bool { return op.Kind == "http" }}})
+	if resp.StatusCode != 200 || string(body) != "0123" || !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated: status=%d body=%q err=%v", resp.StatusCode, body, err)
+	}
+
+	// Trace keys exclude the host (ports vary run to run).
+	tr := &Trace{}
+	if _, _, err := get(&Transport{Trace: tr}); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(tr.Log()); got != "http GET /v1/x #1 -> ok\n" {
+		t.Fatalf("trace log = %q", got)
+	}
+}

@@ -1,0 +1,257 @@
+package faultline
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// File is the subset of *os.File the snapshot store and log spools need.
+type File interface {
+	io.Reader
+	io.Writer
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Close closes the file.
+	Close() error
+}
+
+// FS is the filesystem surface internal/snapshot and internal/logio write
+// through. OS() is the passthrough implementation; FaultFS wraps any FS
+// with fault injection.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(dir string) ([]os.DirEntry, error)
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	RemoveAll(path string) error
+	Stat(path string) (os.FileInfo, error)
+	ReadFile(path string) ([]byte, error)
+	// Create truncates/creates path for writing.
+	Create(path string) (File, error)
+	// Open opens path read-only (also used to fsync existing files).
+	Open(path string) (File, error)
+	// OpenFile is the general open.
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+}
+
+type osFS struct{}
+
+// OS returns the real-filesystem FS.
+func OS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(dir string) ([]os.DirEntry, error)    { return os.ReadDir(dir) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                     { return os.Remove(path) }
+func (osFS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (osFS) Stat(path string) (os.FileInfo, error)        { return os.Stat(path) }
+func (osFS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (osFS) Create(path string) (File, error)             { return os.Create(path) }
+func (osFS) Open(path string) (File, error)               { return os.Open(path) }
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+// FaultFS wraps an FS and consults an Injector before every operation.
+//
+// Crash points: when a Decision carries Crash, the operation is refused and
+// the FaultFS freezes — every subsequent operation (reads included) fails
+// with ErrCrashed, leaving the underlying directory exactly as the
+// completed operations left it. Tests then reopen the directory with a
+// fresh OS-backed store to assert crash recovery, the same way a restarted
+// process would.
+//
+// Determinism: ops are keyed by path relative to Root (absolute temp-dir
+// prefixes vary run to run and would otherwise change the fault schedule),
+// and sequence-numbered per (kind, key) by the FaultFS itself.
+type FaultFS struct {
+	inner   FS
+	inj     Injector
+	trace   *Trace
+	root    string
+	seq     seqTracker
+	crashed atomic.Bool
+}
+
+// NewFaultFS wraps inner. root, when non-empty, is stripped from op keys;
+// trace may be nil.
+func NewFaultFS(inner FS, inj Injector, root string, trace *Trace) *FaultFS {
+	if inner == nil {
+		inner = OS()
+	}
+	if inj == nil {
+		inj = Clean{}
+	}
+	return &FaultFS{inner: inner, inj: inj, trace: trace, root: root}
+}
+
+// Crashed reports whether a crash point froze this filesystem.
+func (f *FaultFS) Crashed() bool { return f.crashed.Load() }
+
+func (f *FaultFS) key(path string) string {
+	if f.root == "" {
+		return path
+	}
+	if rel, err := filepath.Rel(f.root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}
+
+// decide runs one op through the injector: returns a non-nil error when the
+// op must be refused (crash points freeze the FS first).
+func (f *FaultFS) decide(kind, key string) (Decision, error) {
+	if f.crashed.Load() {
+		return Decision{}, ErrCrashed
+	}
+	op := Op{Kind: kind, Key: key, Seq: f.seq.next(kind, key)}
+	d := f.inj.Decide(op)
+	f.trace.Record(op, d)
+	if d.Crash {
+		f.crashed.Store(true)
+		return d, fmt.Errorf("%w (at %s %s #%d)", ErrCrashed, kind, key, op.Seq)
+	}
+	if d.Err != nil && d.Short == 0 {
+		return d, d.Err
+	}
+	return d, nil
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if _, err := f.decide("mkdir", f.key(path)); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]os.DirEntry, error) {
+	if _, err := f.decide("readdir", f.key(dir)); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if _, err := f.decide("rename", f.key(oldpath)+"->"+f.key(newpath)); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if _, err := f.decide("remove", f.key(path)); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FaultFS) RemoveAll(path string) error {
+	if _, err := f.decide("remove", f.key(path)); err != nil {
+		return err
+	}
+	return f.inner.RemoveAll(path)
+}
+
+func (f *FaultFS) Stat(path string) (os.FileInfo, error) {
+	if _, err := f.decide("stat", f.key(path)); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(path)
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if _, err := f.decide("read", f.key(path)); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *FaultFS) Create(path string) (File, error) {
+	if _, err := f.decide("create", f.key(path)); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, key: f.key(path), inner: inner}, nil
+}
+
+func (f *FaultFS) Open(path string) (File, error) {
+	if _, err := f.decide("open", f.key(path)); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, key: f.key(path), inner: inner}, nil
+}
+
+func (f *FaultFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	if _, err := f.decide("create", f.key(path)); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, key: f.key(path), inner: inner}, nil
+}
+
+// faultFile threads writes and fsyncs of one open file back through the
+// owning FaultFS. A short-write decision persists Decision.Short bytes to
+// the underlying file before failing, modeling a partial flush.
+type faultFile struct {
+	fs    *FaultFS
+	key   string
+	inner File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	d, err := ff.fs.decide("write", ff.key)
+	if err != nil {
+		return 0, err
+	}
+	if d.Short > 0 {
+		n := d.Short
+		if n > len(p) {
+			n = len(p)
+		}
+		n, _ = ff.inner.Write(p[:n])
+		werr := d.Err
+		if werr == nil {
+			werr = fmt.Errorf("%w: short write on %s", ErrInjected, ff.key)
+		}
+		return n, werr
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if ff.fs.crashed.Load() {
+		return 0, ErrCrashed
+	}
+	return ff.inner.Read(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if _, err := ff.fs.decide("sync", ff.key); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	// Close after a crash still closes the real descriptor (no fd leaks in
+	// long matrix runs) but reports the frozen state.
+	err := ff.inner.Close()
+	if ff.fs.crashed.Load() {
+		return ErrCrashed
+	}
+	return err
+}

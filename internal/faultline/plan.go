@@ -1,0 +1,142 @@
+package faultline
+
+import (
+	"fmt"
+	"time"
+)
+
+// PlanConfig sets per-mille (‰, out of 1000) fault probabilities for the
+// seeded Plan injector. Filesystem probabilities are evaluated per matching
+// op kind; HTTP probabilities per "http" op. The zero config injects
+// nothing.
+type PlanConfig struct {
+	// Filesystem faults.
+	WriteErr   int // ‰ of write ops failing outright
+	ShortWrite int // ‰ of write ops persisting a prefix then failing
+	SyncErr    int // ‰ of fsync ops failing
+	RenameErr  int // ‰ of rename ops failing
+	CreateErr  int // ‰ of create/openfile ops failing
+	Crash      int // ‰ of mutating fs ops becoming crash points (freeze)
+
+	// HTTP faults.
+	Reset       int           // ‰ of attempts failing with a connection reset
+	ServerErr   int           // ‰ of attempts answered with a synthesized 5xx
+	PartialBody int           // ‰ of responses truncated mid-body
+	Latency     int           // ‰ of attempts delayed
+	MaxLatency  time.Duration // upper bound for injected delays
+}
+
+// Plan is a pure, seedable injector: Decide is a function of (Seed, Op)
+// only, with no mutable state, so a workload whose op stream is
+// deterministic sees the identical fault schedule on every run regardless
+// of goroutine interleaving or wall-clock timing.
+type Plan struct {
+	Seed uint64
+	Cfg  PlanConfig
+}
+
+// NewPlan returns a Plan for seed with cfg.
+func NewPlan(seed uint64, cfg PlanConfig) *Plan { return &Plan{Seed: seed, Cfg: cfg} }
+
+// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hash folds (seed, kind, key, seq) into one well-mixed draw.
+func (p *Plan) hash(op Op) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	fold := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	fold(op.Kind)
+	h ^= 0xff
+	h *= 1099511628211
+	fold(op.Key)
+	h ^= op.Seq
+	return mix64(h ^ mix64(p.Seed))
+}
+
+// pick maps a draw onto cumulative per-mille thresholds and returns the
+// index of the band hit, or -1 for none. A second draw for magnitudes is
+// derived by re-mixing.
+func pick(draw uint64, bands ...int) int {
+	r := int(draw % 1000)
+	acc := 0
+	for i, b := range bands {
+		acc += b
+		if r < acc {
+			return i
+		}
+	}
+	return -1
+}
+
+// Decide implements Injector.
+func (p *Plan) Decide(op Op) Decision {
+	draw := p.hash(op)
+	mag := mix64(draw) // independent-ish draw for magnitudes
+	c := p.Cfg
+	errFor := func() error {
+		return fmt.Errorf("%w: %s %s #%d", ErrInjected, op.Kind, op.Key, op.Seq)
+	}
+	switch op.Kind {
+	case "write":
+		switch pick(draw, c.WriteErr, c.ShortWrite, c.Crash) {
+		case 0:
+			return Decision{Err: errFor()}
+		case 1:
+			return Decision{Short: 1 + int(mag%256)}
+		case 2:
+			return Decision{Crash: true}
+		}
+	case "sync":
+		switch pick(draw, c.SyncErr, c.Crash) {
+		case 0:
+			return Decision{Err: errFor()}
+		case 1:
+			return Decision{Crash: true}
+		}
+	case "rename":
+		switch pick(draw, c.RenameErr, c.Crash) {
+		case 0:
+			return Decision{Err: errFor()}
+		case 1:
+			return Decision{Crash: true}
+		}
+	case "create", "mkdir", "remove":
+		switch pick(draw, c.CreateErr, c.Crash) {
+		case 0:
+			return Decision{Err: errFor()}
+		case 1:
+			return Decision{Crash: true}
+		}
+	case "http":
+		switch pick(draw, c.Reset, c.ServerErr, c.PartialBody, c.Latency) {
+		case 0:
+			return Decision{Err: errFor()}
+		case 1:
+			// Alternate 502/503 deterministically off the magnitude draw.
+			st := 502
+			if mag&1 == 1 {
+				st = 503
+			}
+			return Decision{Status: st}
+		case 2:
+			return Decision{Short: 1 + int(mag%128)}
+		case 3:
+			max := c.MaxLatency
+			if max <= 0 {
+				max = 50 * time.Millisecond
+			}
+			return Decision{Latency: time.Duration(1 + mag%uint64(max))}
+		}
+	}
+	return Decision{}
+}

@@ -1,0 +1,126 @@
+package faultline
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Transport is an http.RoundTripper that consults an Injector before every
+// attempt: it can delay the attempt, fail it with a connection reset,
+// answer with a synthesized 5xx without reaching the wrapped transport, or
+// let the real response through with its body truncated after Short bytes
+// (the read then fails with io.ErrUnexpectedEOF, like a connection dropped
+// mid-transfer).
+type Transport struct {
+	// Inner is the wrapped transport; nil means http.DefaultTransport.
+	Inner http.RoundTripper
+	// Inj decides each attempt's fate; nil means no faults.
+	Inj Injector
+	// Trace, when non-nil, records every decision.
+	Trace *Trace
+	// KeyFunc derives the op key from a request. The default is
+	// Method + " " + URL.Path — the host is deliberately excluded, because
+	// httptest ports vary run to run and would break schedule determinism.
+	KeyFunc func(*http.Request) string
+	// Sleep implements injected latency; nil uses a context-aware timer.
+	Sleep func(time.Duration)
+
+	seq seqTracker
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	inj := t.Inj
+	if inj == nil {
+		inj = Clean{}
+	}
+	keyf := t.KeyFunc
+	if keyf == nil {
+		keyf = func(r *http.Request) string { return r.Method + " " + r.URL.Path }
+	}
+	key := keyf(req)
+	op := Op{Kind: "http", Key: key, Seq: t.seq.next("http", key)}
+	d := inj.Decide(op)
+	t.Trace.Record(op, d)
+
+	if d.Latency > 0 {
+		if t.Sleep != nil {
+			t.Sleep(d.Latency)
+		} else {
+			timer := time.NewTimer(d.Latency)
+			select {
+			case <-req.Context().Done():
+				timer.Stop()
+				if req.Body != nil {
+					req.Body.Close()
+				}
+				return nil, req.Context().Err()
+			case <-timer.C:
+			}
+		}
+	}
+	if d.Err != nil {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, d.Err
+	}
+	if d.Status != 0 {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return &http.Response{
+			Status:     fmt.Sprintf("%d %s", d.Status, http.StatusText(d.Status)),
+			StatusCode: d.Status,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     make(http.Header),
+			Body:       io.NopCloser(strings.NewReader("")),
+			Request:    req,
+		}, nil
+	}
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	resp, err := inner.RoundTrip(req)
+	if err != nil || d.Short <= 0 {
+		return resp, err
+	}
+	resp.Body = &truncBody{inner: resp.Body, remain: d.Short}
+	resp.ContentLength = -1
+	resp.Header.Del("Content-Length")
+	return resp, nil
+}
+
+// truncBody yields at most remain bytes of the real body, then fails the
+// read the way a dropped connection does.
+type truncBody struct {
+	inner  io.ReadCloser
+	remain int
+}
+
+func (b *truncBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.inner.Read(p)
+	b.remain -= n
+	if err == io.EOF {
+		// The real body ended before the truncation point; pass EOF through.
+		return n, err
+	}
+	if b.remain <= 0 && err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncBody) Close() error { return b.inner.Close() }

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cellspot/internal/beacon"
@@ -84,6 +85,12 @@ type ReceiverConfig struct {
 	// (DefaultMaxPending when <= 0); beyond it the receiver answers 429
 	// until the next Tick drains the backlog into a generation.
 	MaxPending int
+	// MaxInflight bounds concurrently decoded segment requests (0 =
+	// unbounded). Each in-flight request may buffer a full segment before
+	// the fold even starts, so under a shipper stampede this gate sheds
+	// with 429 + Retry-After before memory does; refused shippers back off
+	// and retry, exactly as for the pending-backlog 429.
+	MaxInflight int
 	// RetryAfter is advertised on 429 (DefaultRetryAfter when <= 0).
 	RetryAfter time.Duration
 	// Interval is the Run publish cadence (DefaultTickInterval when <= 0).
@@ -98,6 +105,7 @@ type ReceiverConfig struct {
 	//	federation_recv_digest_mismatch_total segments refused on digest
 	//	federation_recv_bad_requests_total    malformed segment requests
 	//	federation_recv_throttled_total       429 backpressure responses
+	//	federation_recv_shed_total            429 admission-control refusals
 	//	federation_recv_probes_total          zero-length probes answered
 	//	federation_recv_publish_total         generations published
 	//	federation_recv_bad_lines_total       malformed payload lines skipped
@@ -119,6 +127,8 @@ type ReceiverConfig struct {
 type Receiver struct {
 	cfg ReceiverConfig
 
+	inflight atomic.Int64
+
 	mu       sync.Mutex
 	win      *live.MultiWindow
 	acked    map[string]int64 // "<collector>/<shard>" -> folded offset
@@ -137,6 +147,7 @@ type Receiver struct {
 	mDigest    *obs.Counter
 	mBadReq    *obs.Counter
 	mThrottled *obs.Counter
+	mShed      *obs.Counter
 	mProbes    *obs.Counter
 	mPublish   *obs.Counter
 	mBadLines  *obs.Counter
@@ -195,6 +206,7 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		r.mDigest = reg.Counter("federation_recv_digest_mismatch_total", "Segments refused because the payload digest did not match the manifest.")
 		r.mBadReq = reg.Counter("federation_recv_bad_requests_total", "Malformed segment requests refused.")
 		r.mThrottled = reg.Counter("federation_recv_throttled_total", "Segments pushed back with 429 while draining.")
+		r.mShed = reg.Counter("federation_recv_shed_total", "Segment requests refused by admission control (in-flight bound).")
 		r.mProbes = reg.Counter("federation_recv_probes_total", "Zero-length durability probes answered.")
 		r.mPublish = reg.Counter("federation_recv_publish_total", "Map generations published.")
 		r.mBadLines = reg.Counter("federation_recv_bad_lines_total", "Malformed payload lines skipped while folding.")
@@ -266,6 +278,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func (r *Receiver) handleSegments(w http.ResponseWriter, req *http.Request) {
+	// Admission control before the body is read: each in-flight request
+	// may buffer a full segment, so the bound is a memory ceiling.
+	if max := int64(r.cfg.MaxInflight); max > 0 {
+		if r.inflight.Add(1) > max {
+			r.inflight.Add(-1)
+			r.mShed.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(int(r.cfg.RetryAfter.Round(time.Second)/time.Second)))
+			writeJSON(w, http.StatusTooManyRequests, SegmentResponse{Error: "receiver at capacity, retry"})
+			return
+		}
+		defer r.inflight.Add(-1)
+	}
 	start := time.Now()
 	m, payload, err := DecodeSegment(http.MaxBytesReader(w, req.Body, MaxManifestBytes+MaxSegmentBytes+2))
 	if err != nil {

@@ -33,6 +33,13 @@ const (
 	DefaultMaxAttempts = 8
 	// DefaultRetryBase is the first retry backoff; it doubles per attempt.
 	DefaultRetryBase = 100 * time.Millisecond
+	// DefaultShipTimeout is the per-request deadline floor: even a
+	// zero-length probe gets this long before the attempt is abandoned.
+	DefaultShipTimeout = 30 * time.Second
+	// DefaultMinShipRate is the assumed worst-case link rate used to scale
+	// the per-request deadline with segment size (bytes per second). A
+	// 1 MiB segment over a 128 KiB/s floor adds 8s to the deadline.
+	DefaultMinShipRate = 128 << 10
 )
 
 // ShipperConfig parameterizes a Shipper.
@@ -65,7 +72,19 @@ type ShipperConfig struct {
 	// (DefaultRetryBase when <= 0). 429 responses honor Retry-After
 	// instead when present.
 	RetryBase time.Duration
-	// HTTPClient defaults to a client with a 30s timeout.
+	// ShipTimeout is the per-request deadline floor (DefaultShipTimeout
+	// when <= 0). Each delivery attempt runs under a context deadline of
+	// ShipTimeout plus the time the segment body needs at MinShipRate, so
+	// a large segment on a slow link is not killed by a flat timeout while
+	// a wedged connection still fails promptly.
+	ShipTimeout time.Duration
+	// MinShipRate is the slowest link rate the deadline budget assumes, in
+	// bytes per second (DefaultMinShipRate when <= 0).
+	MinShipRate int
+	// HTTPClient defaults to a client with no flat timeout: per-attempt
+	// deadlines (see ShipTimeout) govern instead. A caller-supplied client
+	// keeps whatever Timeout it carries, which then caps every attempt
+	// regardless of segment size.
 	HTTPClient *http.Client
 	// Metrics, when non-nil, registers the shipper metric families:
 	//
@@ -156,6 +175,12 @@ func NewShipper(cfg ShipperConfig) (*Shipper, error) {
 	if cfg.RetryBase <= 0 {
 		cfg.RetryBase = DefaultRetryBase
 	}
+	if cfg.ShipTimeout <= 0 {
+		cfg.ShipTimeout = DefaultShipTimeout
+	}
+	if cfg.MinShipRate <= 0 {
+		cfg.MinShipRate = DefaultMinShipRate
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -164,7 +189,7 @@ func NewShipper(cfg ShipperConfig) (*Shipper, error) {
 	}
 	client := cfg.HTTPClient
 	if client == nil {
-		client = &http.Client{Timeout: 30 * time.Second}
+		client = &http.Client{}
 	}
 	s := &Shipper{
 		cfg:    cfg,
@@ -437,9 +462,20 @@ type segmentResult struct {
 	retryAfter time.Duration
 }
 
+// attemptTimeout is the per-attempt deadline for a request carrying n
+// body bytes: the configured floor plus the transfer time those bytes
+// need at the assumed worst-case link rate.
+func (s *Shipper) attemptTimeout(n int) time.Duration {
+	return s.cfg.ShipTimeout + time.Duration(n)*time.Second/time.Duration(s.cfg.MinShipRate)
+}
+
 // deliver posts one framed segment with bounded retry: transport errors
 // and 5xx back off exponentially, 429 honors Retry-After, and definitive
-// answers (200, 409, 4xx) return immediately.
+// answers (200, 409, 4xx) return immediately. Each attempt runs under its
+// own deadline scaled to the segment size (see ShipperConfig.ShipTimeout),
+// so a stalled connection fails the attempt instead of wedging the
+// shipping loop, while a legitimately slow transfer of a big segment is
+// given proportionally more time.
 func (s *Shipper) deliver(ctx context.Context, m Manifest, payload []byte) (segmentResult, error) {
 	var buf bytes.Buffer
 	if err := EncodeSegment(&buf, m, payload); err != nil {
@@ -456,17 +492,26 @@ func (s *Shipper) deliver(ctx context.Context, m Manifest, payload []byte) (segm
 			}
 			backoff *= 2
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.cfg.Target+SegmentsPath, bytes.NewReader(body))
+		attemptCtx, cancel := context.WithTimeout(ctx, s.attemptTimeout(len(body)))
+		req, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, s.cfg.Target+SegmentsPath, bytes.NewReader(body))
 		if err != nil {
+			cancel()
 			return segmentResult{}, err
 		}
 		req.Header.Set("Content-Type", SegmentContentType)
 		httpResp, err := s.client.Do(req)
 		if err != nil {
+			cancel()
+			if ctx.Err() != nil {
+				// The caller's context died, not the attempt's deadline:
+				// stop retrying entirely.
+				return segmentResult{}, ctx.Err()
+			}
 			lastErr = err
 			continue
 		}
 		res, err := parseSegmentResponse(httpResp)
+		cancel()
 		if err != nil {
 			lastErr = err
 			continue

@@ -21,6 +21,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"cellspot/internal/faultline"
 )
 
 // Writer encodes one JSON record per line onto an io.Writer.
@@ -55,16 +57,22 @@ func (w *Writer) Flush() error { return w.bw.Flush() }
 // ends in ".gz".
 type FileWriter struct {
 	*Writer
-	f  *os.File
+	f  faultline.File
 	gz *gzip.Writer
 }
 
 // Create opens path for writing (truncating), creating parent directories.
 func Create(path string) (*FileWriter, error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	return CreateFS(path, faultline.OS())
+}
+
+// CreateFS is Create with filesystem operations routed through fs — the
+// fault-injection hook the spool crash tests use.
+func CreateFS(path string, fs faultline.FS) (*FileWriter, error) {
+	if err := fs.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("logio: create dir for %s: %w", path, err)
 	}
-	f, err := os.Create(path)
+	f, err := fs.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("logio: create %s: %w", path, err)
 	}
@@ -210,6 +218,7 @@ type Spool struct {
 	prefix     string
 	gzip       bool
 	maxPerFile int
+	fs         faultline.FS
 	cur        *FileWriter
 	shard      int
 	total      int
@@ -219,7 +228,15 @@ type Spool struct {
 // NewSpool creates a spool writing files named <prefix>-NNNN.jsonl[.gz]
 // under dir. maxPerFile <= 0 means a single shard.
 func NewSpool(dir, prefix string, gzipped bool, maxPerFile int) *Spool {
-	return &Spool{dir: dir, prefix: prefix, gzip: gzipped, maxPerFile: maxPerFile}
+	return &Spool{dir: dir, prefix: prefix, gzip: gzipped, maxPerFile: maxPerFile, fs: faultline.OS()}
+}
+
+// SetFS routes the spool's filesystem operations through fs. It must be
+// called before the first Write.
+func (s *Spool) SetFS(fs faultline.FS) {
+	if fs != nil {
+		s.fs = fs
+	}
 }
 
 // Dir returns the spool directory.
@@ -240,7 +257,7 @@ func (s *Spool) shardPath(i int) string {
 // sealed shards and sweep .part debris from a crashed writer.
 func (s *Spool) init() error {
 	s.inited = true
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil // fresh directory; Create will make it
@@ -261,7 +278,7 @@ func (s *Spool) init() error {
 		}
 		if strings.HasPrefix(name, s.prefix+"-") && strings.HasSuffix(name, PartSuffix) &&
 			IsShardName(strings.TrimSuffix(name, PartSuffix), s.prefix) {
-			if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+			if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil {
 				return fmt.Errorf("logio: sweep %s: %w", name, err)
 			}
 		}
@@ -277,7 +294,7 @@ func (s *Spool) Write(v any) error {
 		}
 	}
 	if s.cur == nil {
-		fw, err := Create(s.shardPath(s.shard) + PartSuffix)
+		fw, err := CreateFS(s.shardPath(s.shard)+PartSuffix, s.fs)
 		if err != nil {
 			return err
 		}
@@ -302,7 +319,7 @@ func (s *Spool) seal() error {
 		return err
 	}
 	s.cur = nil
-	if err := os.Rename(final+PartSuffix, final); err != nil {
+	if err := s.fs.Rename(final+PartSuffix, final); err != nil {
 		return fmt.Errorf("logio: seal %s: %w", filepath.Base(final), err)
 	}
 	s.shard++

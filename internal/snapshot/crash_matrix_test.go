@@ -1,0 +1,179 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cellspot/internal/faultline"
+)
+
+// The crash-consistency matrix: inject a failure, then separately a crash
+// point, at EVERY mutating filesystem step of a generation publish (staging
+// mkdir, each file create/write, each fsync, both renames, the directory
+// sync) and assert that a store reopened on the resulting directory always
+// recovers to either the old or the new CURRENT — never a torn state, and
+// never a CURRENT naming an incomplete generation.
+
+// matrixPayloads are the per-generation file contents; distinct per
+// generation so a torn mix is detectable.
+func matrixPayloads(gen int) map[string]string {
+	return map[string]string{
+		"cellmap.jsonl":   fmt.Sprintf("{\"gen\":%d,\"rows\":\"aaaaaaaaaaaaaaaa\"}\n", gen),
+		"checkpoint.json": fmt.Sprintf("{\"gen\":%d}\n", gen),
+	}
+}
+
+// publishVia runs one publish writing matrixPayloads(gen) through fs.
+func publishVia(st *Store, fs faultline.FS, gen int) error {
+	_, err := st.Publish(func(dir string) error {
+		for _, name := range []string{"cellmap.jsonl", "checkpoint.json"} {
+			f, err := fs.Create(filepath.Join(dir, name))
+			if err != nil {
+				return err
+			}
+			if _, err := f.Write([]byte(matrixPayloads(gen)[name])); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return err
+}
+
+// verifyIntact opens dir fresh (as a restarted process would) and checks
+// the old-or-new invariant: CURRENT resolves, and the generation it names
+// is complete and internally consistent with exactly one payload set.
+// Returns the generation seq CURRENT resolved to (0 = no CURRENT yet).
+func verifyIntact(t *testing.T, dir string) uint64 {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after fault: %v", err)
+	}
+	cur, ok, err := st.Current()
+	if err != nil {
+		t.Fatalf("Current() after fault: %v", err)
+	}
+	if !ok {
+		return 0
+	}
+	want := matrixPayloads(int(cur.Seq))
+	for name, body := range want {
+		got, err := os.ReadFile(cur.Path(name))
+		if err != nil {
+			t.Fatalf("gen %d incomplete: %s: %v", cur.Seq, name, err)
+		}
+		if string(got) != body {
+			t.Fatalf("gen %d torn: %s = %q, want %q", cur.Seq, name, got, body)
+		}
+	}
+	return cur.Seq
+}
+
+func TestPublishCrashConsistencyMatrix(t *testing.T) {
+	// Count pass: how many mutating fs ops does one publish perform?
+	countDir := t.TempDir()
+	counter := &faultline.StepInjector{}
+	cfs := faultline.NewFaultFS(faultline.OS(), counter, countDir, nil)
+	st, err := OpenFS(countDir, cfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := publishVia(st, cfs, 1); err != nil {
+		t.Fatal(err)
+	}
+	steps := counter.Seen()
+	if steps < 10 {
+		t.Fatalf("publish performed only %d mutating ops; matrix would be trivial", steps)
+	}
+
+	for step := int64(1); step <= steps; step++ {
+		for _, mode := range []string{"error", "crash"} {
+			t.Run(fmt.Sprintf("%s-at-step-%02d", mode, step), func(t *testing.T) {
+				dir := t.TempDir()
+				// Baseline generation published cleanly.
+				base, err := Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := publishVia(base, faultline.OS(), 1); err != nil {
+					t.Fatal(err)
+				}
+
+				d := faultline.Decision{Err: faultline.ErrInjected}
+				if mode == "crash" {
+					d = faultline.Decision{Crash: true}
+				}
+				// The injected fault may land inside OpenFS itself (its
+				// MkdirAll is a counted mutating op) — that is a valid
+				// matrix point too, handled as a failed publish attempt.
+				inj := &faultline.StepInjector{N: step, D: d}
+				ffs := faultline.NewFaultFS(faultline.OS(), inj, dir, nil)
+				fst, pubErr := OpenFS(dir, ffs)
+				if pubErr == nil {
+					pubErr = publishVia(fst, ffs, 2)
+				}
+				if mode == "crash" && pubErr == nil && !ffs.Crashed() {
+					t.Fatal("crash step never reached")
+				}
+
+				seq := verifyIntact(t, dir)
+				if seq != 1 && seq != 2 {
+					t.Fatalf("CURRENT resolved to gen %d, want 1 (old) or 2 (new)", seq)
+				}
+				// A publish that reported success must be visible.
+				if pubErr == nil && seq != 2 {
+					t.Fatalf("publish reported success but CURRENT is gen %d", seq)
+				}
+
+				// The store must accept the next publish after recovery.
+				rec, err := Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := publishVia(rec, faultline.OS(), 3); err != nil {
+					t.Fatalf("publish after recovery: %v", err)
+				}
+				cur, ok, err := rec.Current()
+				if err != nil || !ok || cur.Seq <= seq {
+					t.Fatalf("post-recovery publish: cur=%v ok=%v err=%v", cur, ok, err)
+				}
+			})
+		}
+	}
+}
+
+// Injected faults must surface as errors, not silent partial publishes:
+// a short write inside the staging files either fails the publish or the
+// published generation carries the full payload.
+func TestPublishShortWriteNeverTears(t *testing.T) {
+	for step := int64(1); step <= 3; step++ {
+		dir := t.TempDir()
+		inj := &faultline.StepInjector{
+			N: step, D: faultline.Decision{Short: 3},
+			Filter: func(op faultline.Op) bool { return op.Kind == "write" },
+		}
+		ffs := faultline.NewFaultFS(faultline.OS(), inj, dir, nil)
+		st, err := OpenFS(dir, ffs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pubErr := publishVia(st, ffs, 1)
+		if inj.Seen() >= step && pubErr == nil {
+			t.Fatalf("step %d: short write was swallowed", step)
+		}
+		if !errors.Is(pubErr, faultline.ErrInjected) {
+			t.Fatalf("step %d: err = %v, want ErrInjected", step, pubErr)
+		}
+		if seq := verifyIntact(t, dir); seq != 0 {
+			t.Fatalf("step %d: failed publish left CURRENT at gen %d", step, seq)
+		}
+	}
+}

@@ -34,6 +34,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"cellspot/internal/faultline"
 )
 
 const (
@@ -78,6 +80,7 @@ func parseGenName(name string) (uint64, bool) {
 // safe to call concurrently from any number of goroutines or processes.
 type Store struct {
 	dir  string
+	fs   faultline.FS
 	mu   sync.Mutex
 	pins map[uint64]int // generation seq -> in-process pin count
 }
@@ -85,21 +88,31 @@ type Store struct {
 // Open creates (if needed) and opens a store rooted at dir, sweeping any
 // staging directories left behind by a crashed publish.
 func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenFS(dir, faultline.OS())
+}
+
+// OpenFS is Open with every filesystem operation routed through fs — the
+// hook the crash-consistency matrix and the chaos suite use to inject
+// write/fsync/rename failures and crash points into publishes.
+func OpenFS(dir string, fs faultline.FS) (*Store, error) {
+	if fs == nil {
+		fs = faultline.OS()
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("snapshot: open %s: %w", dir, err)
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: open %s: %w", dir, err)
 	}
 	for _, e := range entries {
 		if strings.HasPrefix(e.Name(), tmpPrefix) {
-			if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+			if err := fs.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
 				return nil, fmt.Errorf("snapshot: sweep staging %s: %w", e.Name(), err)
 			}
 		}
 	}
-	return &Store{dir: dir, pins: make(map[uint64]int)}, nil
+	return &Store{dir: dir, fs: fs, pins: make(map[uint64]int)}, nil
 }
 
 // Pin marks a generation as in use by an in-process reader, shielding it
@@ -113,7 +126,7 @@ func (s *Store) Pin(seq uint64) (Generation, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	dir := filepath.Join(s.dir, genName(seq))
-	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+	if fi, err := s.fs.Stat(dir); err != nil || !fi.IsDir() {
 		return Generation{}, false
 	}
 	s.pins[seq]++
@@ -139,7 +152,7 @@ func (s *Store) Dir() string { return s.dir }
 // store has never published (no CURRENT file); a CURRENT that names a
 // missing or malformed generation is corruption and returns an error.
 func (s *Store) Current() (gen Generation, ok bool, err error) {
-	raw, err := os.ReadFile(filepath.Join(s.dir, currentFile))
+	raw, err := s.fs.ReadFile(filepath.Join(s.dir, currentFile))
 	if os.IsNotExist(err) {
 		return Generation{}, false, nil
 	}
@@ -152,7 +165,7 @@ func (s *Store) Current() (gen Generation, ok bool, err error) {
 		return Generation{}, false, fmt.Errorf("snapshot: CURRENT names %q, not a generation", name)
 	}
 	dir := filepath.Join(s.dir, name)
-	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+	if fi, err := s.fs.Stat(dir); err != nil || !fi.IsDir() {
 		return Generation{}, false, fmt.Errorf("snapshot: CURRENT names %s, which does not exist", name)
 	}
 	return Generation{Seq: seq, Dir: dir}, true, nil
@@ -161,7 +174,7 @@ func (s *Store) Current() (gen Generation, ok bool, err error) {
 // Generations lists every fully published generation in ascending sequence
 // order, including any newer than CURRENT (publish crash debris).
 func (s *Store) Generations() ([]Generation, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: list %s: %w", s.dir, err)
 	}
@@ -196,39 +209,39 @@ func (s *Store) Publish(write func(stagingDir string) error) (Generation, error)
 	}
 	name := genName(seq)
 	staging := filepath.Join(s.dir, tmpPrefix+name)
-	if err := os.MkdirAll(staging, 0o755); err != nil {
+	if err := s.fs.MkdirAll(staging, 0o755); err != nil {
 		return Generation{}, fmt.Errorf("snapshot: stage %s: %w", name, err)
 	}
-	cleanup := func() { os.RemoveAll(staging) }
+	cleanup := func() { s.fs.RemoveAll(staging) }
 
 	if err := write(staging); err != nil {
 		cleanup()
 		return Generation{}, fmt.Errorf("snapshot: write %s: %w", name, err)
 	}
-	if err := syncFiles(staging); err != nil {
+	if err := s.syncFiles(staging); err != nil {
 		cleanup()
 		return Generation{}, fmt.Errorf("snapshot: sync %s: %w", name, err)
 	}
 	final := filepath.Join(s.dir, name)
-	if err := os.Rename(staging, final); err != nil {
+	if err := s.fs.Rename(staging, final); err != nil {
 		cleanup()
 		return Generation{}, fmt.Errorf("snapshot: publish %s: %w", name, err)
 	}
 	if err := s.setCurrent(name); err != nil {
 		return Generation{}, err
 	}
-	syncDir(s.dir)
+	s.syncDir(s.dir)
 	return Generation{Seq: seq, Dir: final}, nil
 }
 
 // setCurrent atomically replaces the CURRENT pointer.
 func (s *Store) setCurrent(name string) error {
 	tmp := filepath.Join(s.dir, tmpPrefix+currentFile)
-	if err := writeFileSync(tmp, []byte(name+"\n")); err != nil {
+	if err := s.writeFileSync(tmp, []byte(name+"\n")); err != nil {
 		return fmt.Errorf("snapshot: write CURRENT: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, currentFile)); err != nil {
-		os.Remove(tmp)
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, currentFile)); err != nil {
+		s.fs.Remove(tmp)
 		return fmt.Errorf("snapshot: flip CURRENT: %w", err)
 	}
 	return nil
@@ -265,7 +278,7 @@ func (s *Store) Prune(keep int) (int, error) {
 		if s.pins[g.Seq] > 0 {
 			continue
 		}
-		if err := os.RemoveAll(g.Dir); err != nil {
+		if err := s.fs.RemoveAll(g.Dir); err != nil {
 			return removed, fmt.Errorf("snapshot: prune %s: %w", g.Name(), err)
 		}
 		removed++
@@ -274,8 +287,8 @@ func (s *Store) Prune(keep int) (int, error) {
 }
 
 // writeFileSync writes data and syncs it to stable storage before closing.
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+func (s *Store) writeFileSync(path string, data []byte) error {
+	f, err := s.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -291,8 +304,8 @@ func writeFileSync(path string, data []byte) error {
 }
 
 // syncFiles fsyncs every regular file directly inside dir.
-func syncFiles(dir string) error {
-	entries, err := os.ReadDir(dir)
+func (s *Store) syncFiles(dir string) error {
+	entries, err := s.fs.ReadDir(dir)
 	if err != nil {
 		return err
 	}
@@ -300,7 +313,7 @@ func syncFiles(dir string) error {
 		if !e.Type().IsRegular() {
 			continue
 		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
+		f, err := s.fs.Open(filepath.Join(dir, e.Name()))
 		if err != nil {
 			return err
 		}
@@ -316,8 +329,8 @@ func syncFiles(dir string) error {
 // syncDir fsyncs a directory so renames inside it are durable. Best effort:
 // some filesystems reject directory fsync, and the rename itself is already
 // atomic with respect to readers.
-func syncDir(dir string) {
-	if f, err := os.Open(dir); err == nil {
+func (s *Store) syncDir(dir string) {
+	if f, err := s.fs.Open(dir); err == nil {
 		f.Sync()
 		f.Close()
 	}
